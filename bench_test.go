@@ -1,0 +1,281 @@
+package repro_test
+
+// One benchmark per table and figure of the paper (the harness that
+// regenerates each artifact), plus micro-benchmarks of the load-bearing
+// substrates. Benchmarks run at a reduced scale so `go test -bench=.`
+// finishes in minutes; use cmd/qoebench -scale standard|paper for the
+// full-size artifacts.
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/conformance"
+	"repro/internal/congestion"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+	"repro/internal/participant"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/study"
+	"repro/internal/transport"
+	"repro/internal/webpage"
+)
+
+func benchScale() core.Scale {
+	return core.Scale{Sites: core.QuickScale().Sites[:2], Reps: 2}
+}
+
+func benchOpts() experiments.Options {
+	return experiments.Options{Scale: benchScale(), Seed: 9}
+}
+
+// BenchmarkTable1ProtocolConfigs loads one page under each Table 1 stack.
+func BenchmarkTable1ProtocolConfigs(b *testing.B) {
+	site := webpage.ByName("gov.uk")
+	for i := 0; i < b.N; i++ {
+		for _, name := range core.ProtocolNames() {
+			res := browser.Load(site, browser.Config{
+				Network: simnet.DSL,
+				Proto:   core.MustProtocol(name, simnet.DSL),
+				Seed:    int64(i),
+			})
+			if !res.Trace.Completed {
+				b.Fatal("load incomplete")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2NetworkConfigs loads one page under each Table 2 network.
+func BenchmarkTable2NetworkConfigs(b *testing.B) {
+	site := webpage.ByName("gov.uk")
+	for i := 0; i < b.N; i++ {
+		for _, net := range simnet.Networks() {
+			res := browser.Load(site, browser.Config{
+				Network: net,
+				Proto:   core.MustProtocol("QUIC", net),
+				Seed:    int64(i),
+			})
+			if !res.Trace.Completed {
+				b.Fatal("load incomplete")
+			}
+		}
+	}
+}
+
+// BenchmarkTable3Filtering simulates the full participant populations and
+// runs the R1–R7 funnel.
+func BenchmarkTable3Filtering(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.Table3(int64(i))
+		if len(res.Funnels) != 6 {
+			b.Fatal("funnel count")
+		}
+	}
+}
+
+// BenchmarkFig3Agreement regenerates the cross-group agreement analysis.
+func BenchmarkFig3Agreement(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig3(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4ABVotes regenerates the A/B study vote shares.
+func BenchmarkFig4ABVotes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5Ratings regenerates the rating study analysis.
+func BenchmarkFig5Ratings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Correlation regenerates the metric-correlation heatmap.
+func BenchmarkFig6Correlation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationHOL regenerates the stream-isolation ablation (A3).
+func BenchmarkAblationHOL(b *testing.B) {
+	opts := experiments.Options{Scale: core.Scale{Sites: benchScale().Sites[:1], Reps: 1}, Seed: 9}
+	for i := 0; i < b.N; i++ {
+		rows := experiments.AblationHOL(opts)
+		experiments.RenderAblation(io.Discard, "HOL", rows)
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+// BenchmarkSimnetLink measures raw event-loop + link throughput.
+func BenchmarkSimnetLink(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := simnet.New(1)
+		l := simnet.NewLink(sim, simnet.LinkConfig{
+			BandwidthBps: 1e9, QueueCapBytes: 1 << 24,
+		}, 1)
+		n := 0
+		l.Deliver = func(simnet.Frame) { n++ }
+		for j := 0; j < 1000; j++ {
+			l.Send(simnet.Frame{Size: 1500})
+		}
+		sim.Run()
+		if n != 1000 {
+			b.Fatal("delivery miscount")
+		}
+	}
+}
+
+// BenchmarkTransportTransfer measures a 1 MB reliable transfer end to end.
+func BenchmarkTransportTransfer(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sim := simnet.New(1)
+		net := transport.NewNetwork(sim, simnet.DSL)
+		cc := congestion.NewCubic(congestion.Config{InitialWindowSegments: 10})
+		cc2 := congestion.NewCubic(congestion.Config{InitialWindowSegments: 10})
+		sem := transport.Semantics{ByteStream: true, MaxSackBlocks: 3, AckEvery: 2, AckDelay: 40 * time.Millisecond}
+		c, s := net.NewConnPair(
+			transport.Config{CC: cc, RecvBuf: 1 << 22, Sem: sem},
+			transport.Config{CC: cc2, RecvBuf: 1 << 22, Sem: sem},
+		)
+		done := false
+		c.OnStreamData = func(id int, total int64, fin bool) { done = done || fin }
+		c.Start()
+		s.Start()
+		s.WriteStream(1, 1<<20, true)
+		sim.Run()
+		if !done {
+			b.Fatal("transfer incomplete")
+		}
+	}
+}
+
+// BenchmarkPageLoadDSL measures one full page load (browser + HTTP + QUIC +
+// network) on the fast network.
+func BenchmarkPageLoadDSL(b *testing.B) {
+	b.ReportAllocs()
+	site := webpage.ByName("etsy.com")
+	for i := 0; i < b.N; i++ {
+		res := browser.Load(site, browser.Config{
+			Network: simnet.DSL,
+			Proto:   core.MustProtocol("QUIC", simnet.DSL),
+			Seed:    int64(i),
+		})
+		if !res.Trace.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkPageLoadMSS measures a page load on the lossy satellite network
+// (long virtual time, heavy recovery machinery).
+func BenchmarkPageLoadMSS(b *testing.B) {
+	site := webpage.ByName("gov.uk")
+	for i := 0; i < b.N; i++ {
+		res := browser.Load(site, browser.Config{
+			Network: simnet.MSS,
+			Proto:   core.MustProtocol("TCP", simnet.MSS),
+			Seed:    int64(i),
+		})
+		if !res.Trace.Completed {
+			b.Fatal("incomplete")
+		}
+	}
+}
+
+// BenchmarkCubicOnAck measures the congestion-avoidance hot path.
+func BenchmarkCubicOnAck(b *testing.B) {
+	b.ReportAllocs()
+	c := congestion.NewCubic(congestion.Config{InitialWindowSegments: 10})
+	c.OnLoss(time.Millisecond, 1460, 100000) // force congestion avoidance
+	for i := 0; i < b.N; i++ {
+		c.OnAck(time.Duration(i)*time.Millisecond, 1460, 50*time.Millisecond, 0, 50000)
+	}
+}
+
+// BenchmarkBBROnAck measures the BBR filter/state-machine hot path.
+func BenchmarkBBROnAck(b *testing.B) {
+	b.ReportAllocs()
+	bb := congestion.NewBBR(congestion.Config{})
+	for i := 0; i < b.N; i++ {
+		bb.OnAck(time.Duration(i)*50*time.Millisecond, 14600, 50*time.Millisecond, 2e6, 29200)
+	}
+}
+
+// BenchmarkSpeedIndex measures metric computation over a long trace.
+func BenchmarkSpeedIndex(b *testing.B) {
+	b.ReportAllocs()
+	tr := &metrics.Trace{Completed: true}
+	for i := 0; i < 500; i++ {
+		tr.Points = append(tr.Points, metrics.Point{
+			T: time.Duration(i*10) * time.Millisecond, VC: float64(i) / 499,
+		})
+	}
+	tr.PLT = 5 * time.Second
+	for i := 0; i < b.N; i++ {
+		if _, ok := metrics.SpeedIndex(tr); !ok {
+			b.Fatal("no SI")
+		}
+	}
+}
+
+// BenchmarkABVote measures the psychometric vote model.
+func BenchmarkABVote(b *testing.B) {
+	b.ReportAllocs()
+	sim := simnet.New(1)
+	rng := sim.SubRand(1)
+	m := participant.New(study.Microworker, rng)
+	l := metrics.Report{SI: 2e9, FVC: 1e9, Complete: true}
+	r := metrics.Report{SI: 25e8, FVC: 12e8, Complete: true}
+	for i := 0; i < b.N; i++ {
+		m.ABVote(l, r)
+	}
+}
+
+// BenchmarkConformanceFilter measures the funnel over the µWorker rating
+// population.
+func BenchmarkConformanceFilter(b *testing.B) {
+	b.ReportAllocs()
+	sessions := participant.Population(study.Microworker, conformance.Rating, 1563, 3)
+	for i := 0; i < b.N; i++ {
+		if _, f := conformance.Filter(sessions); f.Start != 1563 {
+			b.Fatal("funnel start")
+		}
+	}
+}
+
+// BenchmarkPearson measures the correlation hot path of Fig. 6.
+func BenchmarkPearson(b *testing.B) {
+	b.ReportAllocs()
+	xs := make([]float64, 36)
+	ys := make([]float64, 36)
+	for i := range xs {
+		xs[i] = float64(i)
+		ys[i] = 70 - float64(i) + float64(i%3)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := stats.Pearson(xs, ys); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

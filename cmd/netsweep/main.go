@@ -1,0 +1,83 @@
+// Command netsweep sweeps one network dimension around a Table 2 operating
+// point and reports how the QUIC-vs-TCP gap — and the share of users who
+// would notice it — changes, locating the noticeability crossover the
+// paper's conclusion describes ("if network speeds increase, the difficulty
+// of spotting a difference rises").
+//
+// Usage:
+//
+//	netsweep [-dim speed|bandwidth|rtt|loss] [-base LTE] [-a QUIC] [-b TCP] [-values 0.25,0.5,1,2,4]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/simnet"
+	"repro/internal/sweep"
+	"repro/internal/webpage"
+)
+
+func main() {
+	dimName := flag.String("dim", "speed", "dimension: speed, bandwidth (Mbps), rtt (ms), loss (fraction)")
+	baseName := flag.String("base", "LTE", "base network: DSL, LTE, DA2GC, MSS")
+	protoA := flag.String("a", "QUIC", "stack A (supposedly faster)")
+	protoB := flag.String("b", "TCP", "stack B")
+	valuesArg := flag.String("values", "0.25,0.5,1,2,4", "comma-separated sweep values")
+	reps := flag.Int("reps", 3, "repetitions per site and step")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	var dim sweep.Dimension
+	switch *dimName {
+	case "speed":
+		dim = sweep.Speed
+	case "bandwidth":
+		dim = sweep.Bandwidth
+	case "rtt":
+		dim = sweep.RTT
+	case "loss":
+		dim = sweep.Loss
+	default:
+		fmt.Fprintf(os.Stderr, "netsweep: unknown dimension %q\n", *dimName)
+		os.Exit(2)
+	}
+	base, err := simnet.NetworkByName(*baseName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netsweep:", err)
+		os.Exit(2)
+	}
+	var values []float64
+	for _, s := range strings.Split(*valuesArg, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "netsweep: bad value %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		values = append(values, v)
+	}
+
+	res, err := sweep.Run(sweep.Config{
+		Dim:    dim,
+		Base:   base,
+		Values: values,
+		ProtoA: *protoA,
+		ProtoB: *protoB,
+		Sites:  webpage.LabCorpus(),
+		Reps:   *reps,
+		Seed:   *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "netsweep:", err)
+		os.Exit(1)
+	}
+	res.Render(os.Stdout)
+	if v, ok := res.Crossover(0.55); ok {
+		fmt.Printf("\nnoticeability crossover (< 55%% of the panel votes a side): %s = %g\n", dim, v)
+	} else {
+		fmt.Printf("\nno noticeability crossover within the swept range\n")
+	}
+}

@@ -1,0 +1,142 @@
+// Command qoebench regenerates every table and figure of the paper's
+// evaluation from the simulated testbed and user studies.
+//
+// Usage:
+//
+//	qoebench [-scale quick|standard|paper] [-seed N] <experiment>
+//
+// Experiments: table1 table2 table3 fig3 fig4 fig5 fig6
+// ablate-iw ablate-pacing ablate-hol ext-0rtt all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/export"
+)
+
+func main() {
+	scale := flag.String("scale", "quick", "testbed scale: quick (5 lab sites x5 reps), standard (36 sites x7), paper (36 x31)")
+	seed := flag.Int64("seed", 1, "master random seed")
+	format := flag.String("format", "text", "output format for table3/fig4/fig5/fig6: text, csv or json")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qoebench [-scale quick|standard|paper] [-seed N] <experiment>\n")
+		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 fig3 fig4 fig5 fig6 ablate-iw ablate-pacing ablate-hol ext-0rtt all\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	var sc core.Scale
+	switch *scale {
+	case "quick":
+		sc = core.QuickScale()
+	case "standard":
+		sc = core.StandardScale()
+	case "paper":
+		sc = core.PaperScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+	opts := experiments.Options{Scale: sc, Seed: *seed}
+
+	run := func(name string) error {
+		start := time.Now()
+		defer func() {
+			fmt.Printf("\n[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+		}()
+		switch name {
+		case "table1":
+			experiments.Table1(os.Stdout)
+		case "table2":
+			experiments.Table2(os.Stdout)
+		case "table3":
+			res := experiments.Table3(*seed)
+			switch *format {
+			case "csv":
+				return export.Table3CSV(os.Stdout, res)
+			case "json":
+				return export.WriteJSON(os.Stdout, res)
+			}
+			res.Render(os.Stdout)
+		case "fig3":
+			res, err := experiments.Fig3(opts)
+			if err != nil {
+				return err
+			}
+			if *format == "json" {
+				return export.WriteJSON(os.Stdout, res)
+			}
+			res.Render(os.Stdout)
+		case "fig4":
+			res, err := experiments.Fig4(opts)
+			if err != nil {
+				return err
+			}
+			switch *format {
+			case "csv":
+				return export.Fig4CSV(os.Stdout, res)
+			case "json":
+				return export.WriteJSON(os.Stdout, res.Shares)
+			}
+			res.Render(os.Stdout)
+		case "fig5":
+			res, err := experiments.Fig5(opts)
+			if err != nil {
+				return err
+			}
+			switch *format {
+			case "csv":
+				return export.Fig5CSV(os.Stdout, res)
+			case "json":
+				return export.WriteJSON(os.Stdout, res.Cells)
+			}
+			res.Render(os.Stdout)
+		case "fig6":
+			res, err := experiments.Fig6(opts)
+			if err != nil {
+				return err
+			}
+			switch *format {
+			case "csv":
+				return export.Fig6CSV(os.Stdout, res)
+			case "json":
+				return export.WriteJSON(os.Stdout, res.Cells)
+			}
+			res.Render(os.Stdout)
+		case "ablate-iw":
+			experiments.RenderAblation(os.Stdout, "Ablation A1: initial window IW32 vs IW10 (stock TCP base)", experiments.AblationIW(opts))
+		case "ablate-pacing":
+			experiments.RenderAblation(os.Stdout, "Ablation A2: pacing on vs off (TCP+ base)", experiments.AblationPacing(opts))
+		case "ablate-hol":
+			experiments.RenderAblation(os.Stdout, "Ablation A3: per-stream (QUIC) vs byte-stream (TCP+) delivery", experiments.AblationHOL(opts))
+		case "ext-0rtt":
+			experiments.RenderAblation(os.Stdout, "Extension E1: QUIC 0-RTT repeat visit vs 1-RTT", experiments.Ext0RTT(opts))
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	target := flag.Arg(0)
+	names := []string{target}
+	if target == "all" {
+		names = []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6",
+			"ablate-iw", "ablate-pacing", "ablate-hol", "ext-0rtt"}
+	}
+	for _, n := range names {
+		if err := run(n); err != nil {
+			fmt.Fprintf(os.Stderr, "qoebench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

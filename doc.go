@@ -1,0 +1,19 @@
+// Package repro reproduces "Perceiving QUIC: Do Users Notice or Even Care?"
+// (Rüth, Wolsing, Wehrle, Hohlfeld — CoNEXT 2019) as a self-contained Go
+// library: a deterministic Mahimahi-style network emulator, segment-level
+// TCP(+TLS) and gQUIC transport models with Cubic/BBRv1 and fq pacing, an
+// HTTP/2-vs-HTTP/3 application layer, a Chromium-like page loader over a
+// 36-site synthetic corpus, visual Web metrics (FVC/SI/VC85/LVC/PLT), and a
+// psychometric simulation of the paper's two user studies with its full
+// conformance-filtering pipeline.
+//
+// Entry points:
+//
+//	cmd/qoebench  — regenerate every table and figure of the evaluation
+//	cmd/pageload  — load one site under one configuration
+//	examples/     — runnable API tours
+//
+// See DESIGN.md for the substitution ledger (what the paper's hardware and
+// human apparatus was replaced with, and why that preserves behaviour) and
+// EXPERIMENTS.md for paper-vs-measured comparisons.
+package repro

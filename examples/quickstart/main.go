@@ -1,0 +1,37 @@
+// Quickstart: load one website under every Table 1 protocol on DSL and
+// compare the visual metrics — the one-minute tour of the testbed API.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/webpage"
+)
+
+func main() {
+	site := webpage.ByName("wikipedia.org")
+	net := simnet.DSL
+
+	fmt.Printf("Loading %s (%d objects, %.0f KB, %d hosts) over %s\n\n",
+		site.Name, len(site.Objects), float64(site.TotalBytes())/1024, site.HostCount(), net.Name)
+	fmt.Printf("%-9s %9s %9s %9s %9s %6s\n", "Protocol", "FVC", "SI", "LVC", "PLT", "retx")
+	for _, name := range core.ProtocolNames() {
+		res := browser.Load(site, browser.Config{
+			Network: net,
+			Proto:   core.MustProtocol(name, net),
+			Seed:    42,
+		})
+		r := res.Report
+		fmt.Printf("%-9s %9s %9s %9s %9s %6d\n", name,
+			r.FVC.Round(time.Millisecond), r.SI.Round(time.Millisecond),
+			r.LVC.Round(time.Millisecond), r.PLT.Round(time.Millisecond),
+			res.Retransmissions)
+	}
+	fmt.Println("\nQUIC's 1-RTT handshake shows up directly in FVC; on a clean, fast")
+	fmt.Println("network the differences stay well under half a second — which is why")
+	fmt.Println("the paper's users mostly could not tell the stacks apart on DSL.")
+}

@@ -1,0 +1,158 @@
+package browser
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/httpsim"
+	"repro/internal/quicsim"
+	"repro/internal/simnet"
+	"repro/internal/tcpsim"
+	"repro/internal/webpage"
+)
+
+func tcpStock() httpsim.Protocol  { return httpsim.TCPStack{Opts: tcpsim.Stock()} }
+func quicStock() httpsim.Protocol { return httpsim.QUICStack{Opts: quicsim.Stock()} }
+
+func loadOne(t *testing.T, site *webpage.Site, net simnet.NetworkConfig, proto httpsim.Protocol, seed int64) Result {
+	t.Helper()
+	res := Load(site, Config{Network: net, Proto: proto, Seed: seed})
+	if !res.Trace.Completed {
+		t.Fatalf("%s on %s via %s did not complete", site.Name, net.Name, proto.Name())
+	}
+	if err := res.Trace.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestLoadSmallSiteDSL(t *testing.T) {
+	site := webpage.ByName("apache.org")
+	res := loadOne(t, site, simnet.DSL, tcpStock(), 1)
+	if res.Objects != len(site.Objects) {
+		t.Fatalf("loaded %d/%d objects", res.Objects, len(site.Objects))
+	}
+	r := res.Report
+	if !r.Complete {
+		t.Fatalf("metrics incomplete: %+v", r)
+	}
+	if !(r.FVC <= r.VC85 && r.VC85 <= r.LVC && r.LVC <= r.PLT) {
+		t.Fatalf("metric ordering violated: %+v", r)
+	}
+	if r.FVC < 3*simnet.DSL.MinRTT {
+		// 2-RTT handshake + request/response must precede any paint.
+		t.Fatalf("FVC %v impossibly early", r.FVC)
+	}
+}
+
+func TestLoadAllLabSitesAllNetworks(t *testing.T) {
+	for _, site := range webpage.LabCorpus() {
+		for _, net := range simnet.Networks() {
+			res := loadOne(t, site, net, quicStock(), 7)
+			if res.Report.SI <= 0 {
+				t.Fatalf("%s/%s: SI = %v", site.Name, net.Name, res.Report.SI)
+			}
+		}
+	}
+}
+
+func TestVisualCompletenessReachesOne(t *testing.T) {
+	site := webpage.ByName("wikipedia.org")
+	res := loadOne(t, site, simnet.DSL, quicStock(), 3)
+	if vc := res.Trace.FinalVC(); vc < 0.999 {
+		t.Fatalf("final VC = %f", vc)
+	}
+}
+
+func TestDeterministicLoads(t *testing.T) {
+	site := webpage.ByName("gov.uk")
+	a := Load(site, Config{Network: simnet.LTE, Proto: tcpStock(), Seed: 42})
+	b := Load(site, Config{Network: simnet.LTE, Proto: tcpStock(), Seed: 42})
+	if a.Report != b.Report {
+		t.Fatalf("same seed, different reports:\n%+v\n%+v", a.Report, b.Report)
+	}
+	c := Load(site, Config{Network: simnet.DA2GC, Proto: tcpStock(), Seed: 43})
+	d := Load(site, Config{Network: simnet.DA2GC, Proto: tcpStock(), Seed: 44})
+	if c.Report == d.Report {
+		t.Fatal("different seeds should differ on a lossy network")
+	}
+}
+
+func TestQUICFasterFVCOnCleanNetwork(t *testing.T) {
+	// The 1-RTT handshake advantage must surface in first visual change on
+	// a loss-free network (the paper's primary technical mechanism).
+	site := webpage.ByName("gov.uk")
+	tcp := loadOne(t, site, simnet.LTE, tcpStock(), 5)
+	quic := loadOne(t, site, simnet.LTE, quicStock(), 5)
+	if quic.Report.FVC >= tcp.Report.FVC {
+		t.Fatalf("QUIC FVC (%v) should beat TCP FVC (%v)", quic.Report.FVC, tcp.Report.FVC)
+	}
+	saved := tcp.Report.FVC - quic.Report.FVC
+	rtt := simnet.LTE.MinRTT
+	// The advantage compounds: the document connection saves one RTT and so
+	// does each render-blocking third-party connection behind it.
+	if saved < rtt/2 || saved > 5*rtt {
+		t.Fatalf("FVC advantage %v should be a small multiple of the RTT (%v)", saved, rtt)
+	}
+}
+
+func TestSlowNetworkSlowerThanFast(t *testing.T) {
+	site := webpage.ByName("wikipedia.org")
+	dsl := loadOne(t, site, simnet.DSL, quicStock(), 9)
+	mss := loadOne(t, site, simnet.MSS, quicStock(), 9)
+	if mss.Report.PLT <= 2*dsl.Report.PLT {
+		t.Fatalf("MSS (%v) should be far slower than DSL (%v)", mss.Report.PLT, dsl.Report.PLT)
+	}
+}
+
+func TestMultiHostSiteOpensManyConns(t *testing.T) {
+	site := webpage.ByName("spotify.com")
+	res := loadOne(t, site, simnet.DSL, quicStock(), 11)
+	if res.Conns < site.HostCount()/2 {
+		t.Fatalf("conns = %d for %d hosts", res.Conns, site.HostCount())
+	}
+}
+
+func TestLossyNetworkCausesRetransmissions(t *testing.T) {
+	site := webpage.ByName("etsy.com")
+	res := loadOne(t, site, simnet.MSS, tcpStock(), 13)
+	if res.Retransmissions == 0 {
+		t.Fatal("6% loss must cause retransmissions")
+	}
+}
+
+func TestBannerSiteLateLVC(t *testing.T) {
+	// demorgen.be's welcome banner repaints late: LVC should sit well after
+	// VC85 (the Figure 1 situation that confused crowd voters).
+	site := webpage.ByName("demorgen.be")
+	res := loadOne(t, site, simnet.DSL, quicStock(), 15)
+	r := res.Report
+	if r.LVC < r.VC85+r.VC85/4 {
+		t.Fatalf("banner should push LVC (%v) well past VC85 (%v)", r.LVC, r.VC85)
+	}
+}
+
+func TestMaxLoadTimeAborts(t *testing.T) {
+	site := webpage.ByName("cnn.com") // ~6 MB
+	res := Load(site, Config{
+		Network:     simnet.DA2GC, // 0.468 Mbps: needs ~2 min
+		Proto:       tcpStock(),
+		Seed:        1,
+		MaxLoadTime: 2 * time.Second,
+	})
+	if res.Trace.Completed {
+		t.Fatal("6 MB over 0.468 Mbps cannot finish in 2 s")
+	}
+	if res.Report.Complete {
+		t.Fatal("aborted load must not produce a complete report")
+	}
+}
+
+func TestControlSitesOrdering(t *testing.T) {
+	fast := loadOne(t, webpage.ControlFast(), simnet.LTE, quicStock(), 17)
+	slow := loadOne(t, webpage.ControlSlow(), simnet.LTE, quicStock(), 17)
+	if fast.Report.SI*3 > slow.Report.SI {
+		t.Fatalf("control stimuli not contrasting: fast SI %v vs slow SI %v",
+			fast.Report.SI, slow.Report.SI)
+	}
+}

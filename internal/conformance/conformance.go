@@ -1,0 +1,161 @@
+// Package conformance implements the paper's seven filter rules (§4.1,
+// "Conformance Filtering") over per-session behaviour logs, and the
+// participation funnel of Table 3. Rules are applied in order, each to the
+// survivors of the previous one, exactly as the table reports:
+//
+//	R1 a video was never played
+//	R2 a video stalled
+//	R3 focus loss > 10 s during the study
+//	R4 a vote was placed before the First Visual Change
+//	R5 the study took > 25 min or one question took > 2 min
+//	R6 a control video was answered wrong
+//	R7 a control question (browser-frame colour) was answered wrong
+package conformance
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/study"
+)
+
+// StudyKind distinguishes the two studies.
+type StudyKind int
+
+const (
+	AB StudyKind = iota
+	Rating
+)
+
+func (k StudyKind) String() string {
+	if k == AB {
+		return "A/B"
+	}
+	return "Rating"
+}
+
+// ABAnswer is one A/B vote of a session.
+type ABAnswer struct {
+	Condition  int // index into the study's condition list
+	Vote       study.Vote
+	Confidence int // 1..5
+	Replays    int
+	IsControl  bool
+	// ControlCorrect is meaningful only for control videos.
+	ControlCorrect bool
+}
+
+// RatingAnswer is one rating-study answer.
+type RatingAnswer struct {
+	Condition int
+	// Speed is the "satisfaction with loading speed" vote on 10..70.
+	Speed float64
+	// Quality is the "general quality of the loading process" vote.
+	Quality float64
+	// Environment the video was framed in.
+	Environment study.Environment
+	IsControl   bool
+	// ControlDelta: for the two R6 control videos (very fast vs very slow
+	// site) the ratings must differ by at least 10 points.
+	ControlDelta float64
+}
+
+// Session is one participant's behaviour log plus answers.
+type Session struct {
+	Group study.Group
+	Kind  StudyKind
+
+	// Behaviour observed by the study runtime (TheFragebogen instruments
+	// exactly these signals).
+	AllVideosPlayed bool
+	AnyVideoStalled bool
+	MaxFocusLoss    time.Duration
+	VotedBeforeFVC  bool
+	TotalDuration   time.Duration
+	MaxQuestionTime time.Duration
+	ControlVideoOK  bool
+	ControlAnswerOK bool
+
+	ABAnswers     []ABAnswer
+	RatingAnswers []RatingAnswer
+}
+
+// RuleCount is the number of filter rules.
+const RuleCount = 7
+
+// RuleNames returns R1..R7 short descriptions.
+func RuleNames() [RuleCount]string {
+	return [RuleCount]string{
+		"R1 video not played",
+		"R2 video stalled",
+		"R3 focus loss > 10s",
+		"R4 vote before FVC",
+		"R5 study > 25min / question > 2min",
+		"R6 control video wrong",
+		"R7 control question wrong",
+	}
+}
+
+// violates reports whether the session breaks rule i (0-based).
+func (s *Session) violates(rule int) bool {
+	switch rule {
+	case 0:
+		return !s.AllVideosPlayed
+	case 1:
+		return s.AnyVideoStalled
+	case 2:
+		return s.MaxFocusLoss > 10*time.Second
+	case 3:
+		return s.VotedBeforeFVC
+	case 4:
+		return s.TotalDuration > 25*time.Minute || s.MaxQuestionTime > 2*time.Minute
+	case 5:
+		return !s.ControlVideoOK
+	case 6:
+		return !s.ControlAnswerOK
+	}
+	return false
+}
+
+// Funnel reports Table 3's participation row: the raw count and the
+// survivors after each rule.
+type Funnel struct {
+	Group study.Group
+	Kind  StudyKind
+	Start int
+	After [RuleCount]int
+}
+
+// Final returns the post-filter participation (the underlined numbers).
+func (f Funnel) Final() int { return f.After[RuleCount-1] }
+
+func (f Funnel) String() string {
+	s := fmt.Sprintf("%-9s %-6s %5d", f.Group, f.Kind, f.Start)
+	for _, a := range f.After {
+		s += fmt.Sprintf(" %5d", a)
+	}
+	return s
+}
+
+// Filter applies R1..R7 in order and returns the surviving sessions plus
+// the funnel counts.
+func Filter(sessions []*Session) ([]*Session, Funnel) {
+	var f Funnel
+	if len(sessions) > 0 {
+		f.Group = sessions[0].Group
+		f.Kind = sessions[0].Kind
+	}
+	f.Start = len(sessions)
+	kept := sessions
+	for rule := 0; rule < RuleCount; rule++ {
+		var next []*Session
+		for _, s := range kept {
+			if !s.violates(rule) {
+				next = append(next, s)
+			}
+		}
+		kept = next
+		f.After[rule] = len(kept)
+	}
+	return kept, f
+}

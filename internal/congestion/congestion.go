@@ -1,0 +1,91 @@
+// Package congestion implements the congestion controllers the paper's
+// protocol configurations use (Table 1): Cubic (stock Linux TCP and stock
+// Google QUIC) and BBRv1 (the TCP+BBR and QUIC+BBR variants), plus the
+// fq-style pacer that distinguishes the tuned stacks from stock TCP.
+//
+// Controllers operate in bytes and are driven by the transport through
+// explicit events (sent / acked / lost / RTO), mirroring the structure of
+// both the Linux and the Chromium QUIC congestion-control interfaces.
+package congestion
+
+import "time"
+
+// Controller is the decision interface a transport consults.
+type Controller interface {
+	// Name identifies the algorithm ("cubic" or "bbr").
+	Name() string
+	// CWND returns the current congestion window in bytes.
+	CWND() int
+	// PacingRate returns the desired pacing rate in bytes per second, or 0
+	// when the controller does not request pacing.
+	PacingRate() float64
+	// OnPacketSent informs the controller that size bytes left the sender
+	// with bytesInFlight outstanding afterwards.
+	OnPacketSent(now time.Duration, bytesInFlight, size int)
+	// OnAck processes an acknowledgment of ackedBytes with the latest RTT
+	// sample and a delivery-rate (bandwidth) sample in bytes/sec, which may
+	// be 0 when unavailable.
+	OnAck(now time.Duration, ackedBytes int, rtt time.Duration, bwSample float64, bytesInFlight int)
+	// OnLoss processes detection of lostBytes via duplicate ACKs / ack
+	// ranges (fast retransmit path, not RTO).
+	OnLoss(now time.Duration, lostBytes, bytesInFlight int)
+	// OnRTO processes a retransmission-timeout collapse.
+	OnRTO(now time.Duration)
+	// OnIdleRestart is called when the connection resumes after an idle
+	// period. Stock TCP collapses to the initial window
+	// (net.ipv4.tcp_slow_start_after_idle=1); the tuned stacks do not.
+	OnIdleRestart(now time.Duration)
+	// InSlowStart reports whether the controller is in its startup phase.
+	InSlowStart() bool
+	// LossBased reports whether the controller treats loss as a congestion
+	// signal. Loss-based controllers (Cubic) must not grow the window on
+	// acks that arrive during loss recovery; model-based ones (BBR) keep
+	// consuming delivery samples throughout.
+	LossBased() bool
+}
+
+// Config carries the parameterization dimensions of Table 1 that concern the
+// controller.
+type Config struct {
+	// InitialWindowSegments is the initial congestion window in segments
+	// (10 for stock Linux TCP, 32 for gQUIC and the tuned TCP+).
+	InitialWindowSegments int
+	// MSS is the maximum segment size in bytes.
+	MSS int
+	// SlowStartAfterIdle restores the initial window after idle periods
+	// (stock Linux behaviour; disabled for TCP+).
+	SlowStartAfterIdle bool
+}
+
+// DefaultMSS is the segment payload size used throughout the testbed,
+// matching a 1500 B Ethernet MTU minus IPv4+TCP headers.
+const DefaultMSS = 1460
+
+func (c Config) initialWindowBytes() int {
+	iw := c.InitialWindowSegments
+	if iw <= 0 {
+		iw = 10
+	}
+	mss := c.MSS
+	if mss <= 0 {
+		mss = DefaultMSS
+	}
+	return iw * mss
+}
+
+func (c Config) mss() int {
+	if c.MSS <= 0 {
+		return DefaultMSS
+	}
+	return c.MSS
+}
+
+// New constructs a controller by algorithm name.
+func New(algorithm string, cfg Config) Controller {
+	switch algorithm {
+	case "bbr":
+		return NewBBR(cfg)
+	default:
+		return NewCubic(cfg)
+	}
+}

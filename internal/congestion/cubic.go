@@ -1,0 +1,180 @@
+package congestion
+
+import (
+	"math"
+	"time"
+)
+
+// Cubic implements RFC 8312 CUBIC with fast convergence and a TCP-friendly
+// (Reno) floor, the default congestion controller of both stacks under test.
+type Cubic struct {
+	cfg Config
+
+	cwnd     int // bytes
+	ssthresh int // bytes
+
+	// Cubic epoch state.
+	epochStart  time.Duration // 0 means no epoch in progress
+	wMax        float64       // window before the last reduction, bytes
+	wLastMax    float64       // for fast convergence
+	k           float64       // seconds until the plateau
+	ackedBytes  int           // bytes acked since epoch start (for Reno est.)
+	originPoint float64
+
+	srtt time.Duration // smoothed RTT, for the pacing-rate export
+
+	pacingEnabled bool
+}
+
+const (
+	cubicC    = 0.4 // RFC 8312 constant C
+	cubicBeta = 0.7 // multiplicative decrease factor
+)
+
+// NewCubic returns a CUBIC controller with the configured initial window.
+func NewCubic(cfg Config) *Cubic {
+	return &Cubic{
+		cfg:      cfg,
+		cwnd:     cfg.initialWindowBytes(),
+		ssthresh: math.MaxInt32,
+	}
+}
+
+// EnablePacing turns on the fq-style pacing-rate export (TCP+ and QUIC are
+// paced; stock TCP is not).
+func (c *Cubic) EnablePacing() { c.pacingEnabled = true }
+
+// Name implements Controller.
+func (c *Cubic) Name() string { return "cubic" }
+
+// LossBased implements Controller: CUBIC reacts to loss.
+func (c *Cubic) LossBased() bool { return true }
+
+// CWND implements Controller.
+func (c *Cubic) CWND() int { return c.cwnd }
+
+// InSlowStart implements Controller.
+func (c *Cubic) InSlowStart() bool { return c.cwnd < c.ssthresh }
+
+// PacingRate implements Controller. Linux paces at 2x cwnd/srtt during slow
+// start and 1.2x in congestion avoidance (net.ipv4.tcp_pacing_{ss,ca}_ratio).
+func (c *Cubic) PacingRate() float64 {
+	if !c.pacingEnabled || c.srtt <= 0 {
+		return 0
+	}
+	base := float64(c.cwnd) / c.srtt.Seconds()
+	if c.InSlowStart() {
+		return 2.0 * base
+	}
+	return 1.2 * base
+}
+
+// OnPacketSent implements Controller. CUBIC needs no send-side action.
+func (c *Cubic) OnPacketSent(now time.Duration, bytesInFlight, size int) {}
+
+// OnAck implements Controller.
+func (c *Cubic) OnAck(now time.Duration, ackedBytes int, rtt time.Duration, bwSample float64, bytesInFlight int) {
+	if rtt > 0 {
+		if c.srtt == 0 {
+			c.srtt = rtt
+		} else {
+			c.srtt = (7*c.srtt + rtt) / 8
+		}
+	}
+	if c.InSlowStart() {
+		// Standard slow start: one MSS per acked MSS.
+		c.cwnd += ackedBytes
+		return
+	}
+	c.congestionAvoidance(now, ackedBytes, rtt)
+}
+
+func (c *Cubic) congestionAvoidance(now time.Duration, ackedBytes int, rtt time.Duration) {
+	mss := float64(c.cfg.mss())
+	if c.epochStart == 0 {
+		c.epochStart = now
+		c.ackedBytes = 0
+		w := float64(c.cwnd)
+		if w < c.wMax {
+			c.k = math.Cbrt((c.wMax - w) / mss / cubicC)
+			c.originPoint = c.wMax
+		} else {
+			c.k = 0
+			c.originPoint = w
+		}
+	}
+	c.ackedBytes += ackedBytes
+
+	t := (now - c.epochStart).Seconds()
+	if rtt > 0 {
+		t += rtt.Seconds() // RFC 8312 targets W(t+RTT)
+	}
+	// Cubic target window in bytes.
+	d := t - c.k
+	target := c.originPoint + cubicC*d*d*d*mss
+
+	// TCP-friendly (Reno) estimate: W_est grows ~0.5 MSS per RTT-equivalent
+	// using the simplified AIMD expression from RFC 8312 §4.2.
+	wEst := c.wMax*cubicBeta + (3*(1-cubicBeta)/(1+cubicBeta))*float64(c.ackedBytes)
+	if target < wEst {
+		target = wEst
+	}
+
+	cur := float64(c.cwnd)
+	if target > cur {
+		// Approach the target by cwnd/target per ack, the standard pacing of
+		// cubic growth onto the ack clock.
+		inc := (target - cur) / cur * float64(ackedBytes)
+		maxInc := float64(ackedBytes) / 2 * 3 // never grow faster than slow start
+		if inc > maxInc {
+			inc = maxInc
+		}
+		c.cwnd += int(inc)
+	} else {
+		// At or above target: grow very slowly (1 MSS per 100 acks).
+		c.cwnd += int(mss / 100)
+	}
+}
+
+// OnLoss implements Controller: multiplicative decrease with fast
+// convergence.
+func (c *Cubic) OnLoss(now time.Duration, lostBytes, bytesInFlight int) {
+	w := float64(c.cwnd)
+	if w < c.wLastMax {
+		// Fast convergence: release bandwidth faster when the available
+		// capacity is shrinking.
+		c.wLastMax = w
+		c.wMax = w * (1 + cubicBeta) / 2
+	} else {
+		c.wLastMax = w
+		c.wMax = w
+	}
+	c.cwnd = int(w * cubicBeta)
+	if min := 2 * c.cfg.mss(); c.cwnd < min {
+		c.cwnd = min
+	}
+	c.ssthresh = c.cwnd
+	c.epochStart = 0
+}
+
+// OnRTO implements Controller: collapse to one segment, halve ssthresh.
+func (c *Cubic) OnRTO(now time.Duration) {
+	c.ssthresh = c.cwnd / 2
+	if min := 2 * c.cfg.mss(); c.ssthresh < min {
+		c.ssthresh = min
+	}
+	c.cwnd = c.cfg.mss()
+	c.epochStart = 0
+}
+
+// OnIdleRestart implements Controller.
+func (c *Cubic) OnIdleRestart(now time.Duration) {
+	if !c.cfg.SlowStartAfterIdle {
+		return
+	}
+	iw := c.cfg.initialWindowBytes()
+	if c.cwnd > iw {
+		c.cwnd = iw
+	}
+	c.epochStart = 0
+}

@@ -1,0 +1,194 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/study"
+)
+
+func TestProtocolCatalog(t *testing.T) {
+	for _, name := range ProtocolNames() {
+		p, err := Protocol(name, simnet.DSL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Name() != name {
+			t.Fatalf("protocol %q reports name %q", name, p.Name())
+		}
+	}
+	if _, err := Protocol("SCTP", simnet.DSL); err == nil {
+		t.Fatal("unknown protocol should error")
+	}
+	// Extension/ablation variants exist.
+	for _, name := range []string{"QUIC-0RTT", "QUIC-nopacing"} {
+		if _, err := Protocol(name, simnet.LTE); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestMustProtocolPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	MustProtocol("nope", simnet.DSL)
+}
+
+func TestTable1Rows(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 5 {
+		t.Fatalf("table 1 rows = %d", len(rows))
+	}
+	if rows[0].Protocol != "TCP" || rows[4].Protocol != "QUIC+BBR" {
+		t.Fatalf("row order wrong: %+v", rows)
+	}
+}
+
+func TestScales(t *testing.T) {
+	if len(QuickScale().Sites) != 5 || QuickScale().Reps != 5 {
+		t.Fatalf("quick scale: %+v", QuickScale())
+	}
+	if len(StandardScale().Sites) != 36 {
+		t.Fatal("standard scale should cover the corpus")
+	}
+	if PaperScale().Reps != 31 {
+		t.Fatal("paper scale should use 31 reps")
+	}
+}
+
+func TestTestbedCachesRecordings(t *testing.T) {
+	tb := NewTestbed(Scale{Sites: QuickScale().Sites[:1], Reps: 2}, 5)
+	site := tb.Scale.Sites[0]
+	a := tb.Recordings(site, simnet.DSL, "QUIC")
+	b := tb.Recordings(site, simnet.DSL, "QUIC")
+	if &a[0] != &b[0] {
+		t.Fatal("recordings should be cached (same backing array)")
+	}
+	if len(a) != 2 {
+		t.Fatalf("reps = %d", len(a))
+	}
+}
+
+func TestTestbedTypicalDeterministic(t *testing.T) {
+	mk := func() string {
+		tb := NewTestbed(Scale{Sites: QuickScale().Sites[:1], Reps: 3}, 5)
+		rec, err := tb.Typical(tb.Scale.Sites[0], simnet.LTE, "TCP")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rec.Report.PLT.String()
+	}
+	if mk() != mk() {
+		t.Fatal("typical selection not deterministic")
+	}
+}
+
+func TestPrewarmFillsCache(t *testing.T) {
+	tb := NewTestbed(Scale{Sites: QuickScale().Sites[:2], Reps: 1}, 5)
+	tb.Prewarm([]simnet.NetworkConfig{simnet.DSL}, []string{"TCP", "QUIC"})
+	if len(tb.cache) != 4 {
+		t.Fatalf("cache entries = %d, want 4", len(tb.cache))
+	}
+}
+
+func TestABConditionsGrid(t *testing.T) {
+	tb := NewTestbed(Scale{Sites: QuickScale().Sites[:2], Reps: 2}, 5)
+	conds, err := tb.ABConditions([]simnet.NetworkConfig{simnet.DSL, simnet.LTE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 pairs x 2 networks x 2 sites.
+	if len(conds) != 16 {
+		t.Fatalf("conditions = %d, want 16", len(conds))
+	}
+	for _, c := range conds {
+		l, r := c.Video.Left, c.Video.Right
+		if l.Site != r.Site || l.Network != r.Network {
+			t.Fatalf("pair mismatch: %+v", c)
+		}
+		if l.Protocol == r.Protocol {
+			t.Fatalf("A/B sides must differ in protocol: %+v", c)
+		}
+		// AOnLeft bookkeeping consistent with the actual video.
+		if c.AOnLeft && l.Protocol != c.Pair.A {
+			t.Fatalf("AOnLeft inconsistent: %+v", c)
+		}
+	}
+	// Both side assignments occur across conditions.
+	left, right := 0, 0
+	for _, c := range conds {
+		if c.AOnLeft {
+			left++
+		} else {
+			right++
+		}
+	}
+	if left == 0 || right == 0 {
+		t.Fatalf("side randomization degenerate: %d/%d", left, right)
+	}
+}
+
+func TestRunABStudyTallies(t *testing.T) {
+	tb := NewTestbed(Scale{Sites: QuickScale().Sites[:2], Reps: 2}, 5)
+	conds, err := tb.ABConditions([]simnet.NetworkConfig{simnet.LTE})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := RunABStudy(study.Lab, conds, 7)
+	total := 0
+	for i := range conds {
+		if out.VotesA[i]+out.VotesB[i]+out.VotesNone[i] != out.VoteCount[i] {
+			t.Fatalf("tally mismatch at %d", i)
+		}
+		total += out.VoteCount[i]
+	}
+	// 35 lab subjects x min(28, len(conds)=8) votes.
+	if want := 35 * 8; total != want {
+		t.Fatalf("total votes = %d, want %d", total, want)
+	}
+	shares := out.Shares()
+	if len(shares) != 4 {
+		t.Fatalf("share cells = %d", len(shares))
+	}
+}
+
+func TestRunRatingStudyDeterministic(t *testing.T) {
+	tb := NewTestbed(Scale{Sites: QuickScale().Sites[:2], Reps: 2}, 5)
+	conds, err := tb.RatingConditions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := RunRatingStudy(study.Lab, conds, 3)
+	b := RunRatingStudy(study.Lab, conds, 3)
+	for i := range a.Speed {
+		if len(a.Speed[i]) != len(b.Speed[i]) {
+			t.Fatal("nondeterministic condition assignment")
+		}
+		for j := range a.Speed[i] {
+			if a.Speed[i][j] != b.Speed[i][j] {
+				t.Fatal("nondeterministic votes")
+			}
+		}
+	}
+}
+
+func TestRatingConditionsEnvironments(t *testing.T) {
+	tb := NewTestbed(Scale{Sites: QuickScale().Sites[:1], Reps: 1}, 5)
+	conds, err := tb.RatingConditions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 envs x 2 networks x 5 protocols x 1 site.
+	if len(conds) != 30 {
+		t.Fatalf("conditions = %d, want 30", len(conds))
+	}
+	for _, c := range conds {
+		nets := study.EnvironmentNetworks(c.Environment)
+		if c.Network != nets[0] && c.Network != nets[1] {
+			t.Fatalf("condition %v uses network %s outside its environment", c.Environment, c.Network)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/simnet"
+	"repro/internal/video"
+	"repro/internal/webpage"
+)
+
+// Scale bounds the cost of a full pipeline run. The paper records every
+// condition at least 31 times over 36 sites; smaller presets keep tests and
+// benchmarks fast while preserving every qualitative shape.
+type Scale struct {
+	Sites []*webpage.Site
+	Reps  int
+}
+
+// QuickScale covers the five lab sites with five repetitions — the smallest
+// setting that exercises every experiment end to end.
+func QuickScale() Scale { return Scale{Sites: webpage.LabCorpus(), Reps: 5} }
+
+// StandardScale covers the full 36-site corpus with seven repetitions.
+func StandardScale() Scale { return Scale{Sites: webpage.Corpus(), Reps: 7} }
+
+// PaperScale matches the paper's recording effort: 36 sites, 31 reps.
+func PaperScale() Scale { return Scale{Sites: webpage.Corpus(), Reps: 31} }
+
+// Testbed records and caches page-load videos for study conditions. It is
+// safe for concurrent use.
+type Testbed struct {
+	Scale Scale
+	Seed  int64
+
+	mu    sync.Mutex
+	cache map[string][]video.Recording
+}
+
+// NewTestbed builds a testbed at the given scale.
+func NewTestbed(scale Scale, seed int64) *Testbed {
+	return &Testbed{Scale: scale, Seed: seed, cache: make(map[string][]video.Recording)}
+}
+
+func condKey(site, network, protocol string) string {
+	return site + "|" + network + "|" + protocol
+}
+
+// Recordings returns (recording if needed) all repetitions of a condition.
+func (tb *Testbed) Recordings(site *webpage.Site, net simnet.NetworkConfig, protocol string) []video.Recording {
+	key := condKey(site.Name, net.Name, protocol)
+	tb.mu.Lock()
+	recs, ok := tb.cache[key]
+	tb.mu.Unlock()
+	if ok {
+		return recs
+	}
+	proto := MustProtocol(protocol, net)
+	baseSeed := tb.Seed ^ int64(hash(key))
+	recs = video.Record(site, net, proto, tb.Scale.Reps, baseSeed)
+	tb.mu.Lock()
+	tb.cache[key] = recs
+	tb.mu.Unlock()
+	return recs
+}
+
+// Typical returns the condition's representative video (closest-to-mean-PLT
+// rule).
+func (tb *Testbed) Typical(site *webpage.Site, net simnet.NetworkConfig, protocol string) (video.Recording, error) {
+	rec, err := video.SelectTypical(tb.Recordings(site, net, protocol))
+	if err != nil {
+		return video.Recording{}, fmt.Errorf("core: condition %s/%s/%s: %w", site.Name, net.Name, protocol, err)
+	}
+	return rec, nil
+}
+
+// Prewarm records every (site × network × protocol) condition in parallel,
+// bounded by GOMAXPROCS workers. Experiments that follow hit only the cache.
+func (tb *Testbed) Prewarm(networks []simnet.NetworkConfig, protocols []string) {
+	type job struct {
+		site *webpage.Site
+		net  simnet.NetworkConfig
+		prot string
+	}
+	var jobs []job
+	for _, s := range tb.Scale.Sites {
+		for _, n := range networks {
+			for _, p := range protocols {
+				jobs = append(jobs, job{s, n, p})
+			}
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	ch := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range ch {
+				tb.Recordings(j.site, j.net, j.prot)
+			}
+		}()
+	}
+	for _, j := range jobs {
+		ch <- j
+	}
+	close(ch)
+	wg.Wait()
+}
+
+// hash is FNV-1a over the condition key for seed derivation.
+func hash(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

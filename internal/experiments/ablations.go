@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/httpsim"
+	"repro/internal/quicsim"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/tcpsim"
+	"repro/internal/webpage"
+)
+
+// AblationRow compares one configuration dimension on one network: mean
+// Speed Index over sites and repetitions for the two settings.
+type AblationRow struct {
+	Network string
+	LabelA  string
+	LabelB  string
+	MeanSIA time.Duration
+	MeanSIB time.Duration
+	WinnerA bool
+	Speedup float64 // SI_B / SI_A (>1 means A faster)
+}
+
+// meanSI loads each site reps times and returns the mean SI.
+func meanSI(sites []*webpage.Site, net simnet.NetworkConfig, proto httpsim.Protocol, reps int, seed int64) time.Duration {
+	var sis []float64
+	for _, site := range sites {
+		for i := 0; i < reps; i++ {
+			res := browser.Load(site, browser.Config{
+				Network: net, Proto: proto, Seed: seed + int64(i)*7919,
+			})
+			if res.Report.Complete {
+				sis = append(sis, res.Report.SI.Seconds())
+			}
+		}
+	}
+	if len(sis) == 0 {
+		return 0
+	}
+	return time.Duration(stats.Mean(sis) * float64(time.Second))
+}
+
+func ablate(opts Options, nets []simnet.NetworkConfig, labelA, labelB string,
+	mk func(net simnet.NetworkConfig) (httpsim.Protocol, httpsim.Protocol)) []AblationRow {
+	var rows []AblationRow
+	for _, net := range nets {
+		a, b := mk(net)
+		siA := meanSI(opts.Scale.Sites, net, a, opts.Scale.Reps, opts.Seed)
+		siB := meanSI(opts.Scale.Sites, net, b, opts.Scale.Reps, opts.Seed)
+		row := AblationRow{
+			Network: net.Name, LabelA: labelA, LabelB: labelB,
+			MeanSIA: siA, MeanSIB: siB,
+			WinnerA: siA < siB,
+		}
+		if siA > 0 {
+			row.Speedup = float64(siB) / float64(siA)
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}
+
+// AblationIW isolates the initial congestion window: IW32 vs IW10 on an
+// otherwise stock TCP stack (A1 in DESIGN.md). Expected: IW32 wins on
+// DSL/LTE, and hurts on the thin-queue DA2GC link (the paper's inversion).
+func AblationIW(opts Options) []AblationRow {
+	return ablate(opts, simnet.Networks(), "TCP IW32", "TCP IW10",
+		func(net simnet.NetworkConfig) (httpsim.Protocol, httpsim.Protocol) {
+			iw32 := tcpsim.Stock()
+			iw32.Name = "TCP-IW32"
+			iw32.IWSegments = 32
+			return httpsim.TCPStack{Opts: iw32}, httpsim.TCPStack{Opts: tcpsim.Stock()}
+		})
+}
+
+// AblationPacing isolates packet pacing on the tuned TCP stack (A2).
+func AblationPacing(opts Options) []AblationRow {
+	return ablate(opts, simnet.Networks(), "TCP+ paced", "TCP+ unpaced",
+		func(net simnet.NetworkConfig) (httpsim.Protocol, httpsim.Protocol) {
+			bdp := int(float64(net.DownlinkBps) / 8 * net.MinRTT.Seconds())
+			paced := tcpsim.Tuned(bdp)
+			unpaced := tcpsim.Tuned(bdp)
+			unpaced.Name = "TCP+nopacing"
+			unpaced.Pacing = false
+			return httpsim.TCPStack{Opts: paced}, httpsim.TCPStack{Opts: unpaced}
+		})
+}
+
+// AblationHOL isolates stream independence: QUIC vs an equally parameterized
+// TCP+ (A3). On lossy networks QUIC's per-stream delivery should win even
+// though window, pacing and CC match.
+func AblationHOL(opts Options) []AblationRow {
+	return ablate(opts, simnet.Networks(), "QUIC (per-stream)", "TCP+ (byte stream)",
+		func(net simnet.NetworkConfig) (httpsim.Protocol, httpsim.Protocol) {
+			bdp := int(float64(net.DownlinkBps) / 8 * net.MinRTT.Seconds())
+			return httpsim.QUICStack{Opts: quicsim.Stock()}, httpsim.TCPStack{Opts: tcpsim.Tuned(bdp)}
+		})
+}
+
+// Ext0RTT measures the repeat-visit extension (E1): 0-RTT QUIC vs 1-RTT
+// QUIC.
+func Ext0RTT(opts Options) []AblationRow {
+	return ablate(opts, simnet.Networks(), "QUIC 0-RTT", "QUIC 1-RTT",
+		func(net simnet.NetworkConfig) (httpsim.Protocol, httpsim.Protocol) {
+			zero := quicsim.Stock()
+			zero.Name = "QUIC-0RTT"
+			zero.ZeroRTT = true
+			return httpsim.QUICStack{Opts: zero}, httpsim.QUICStack{Opts: quicsim.Stock()}
+		})
+}
+
+// RenderAblation prints ablation rows.
+func RenderAblation(w io.Writer, title string, rows []AblationRow) {
+	fmt.Fprintf(w, "%s\n", title)
+	fmt.Fprintf(w, "%-7s %-20s %-20s %10s %10s %8s\n", "Network", "A", "B", "SI(A)", "SI(B)", "B/A")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-7s %-20s %-20s %10s %10s %8.2f\n",
+			r.Network, r.LabelA, r.LabelB,
+			r.MeanSIA.Round(time.Millisecond), r.MeanSIB.Round(time.Millisecond), r.Speedup)
+	}
+}
+
+// ensure core is referenced (protocol catalog reserved for future ablations).
+var _ = core.ProtocolNames

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func tinyOpts() Options {
+	return Options{Scale: core.Scale{Sites: core.QuickScale().Sites[:2], Reps: 2}, Seed: 77}
+}
+
+// TestFig4Deterministic: identical options must produce byte-identical
+// rendered output — the bit-reproducibility promise of DESIGN.md.
+func TestFig4Deterministic(t *testing.T) {
+	render := func() string {
+		res, err := Fig4(tinyOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.Render(&buf)
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("Fig4 output not reproducible")
+	}
+}
+
+func TestFig5Deterministic(t *testing.T) {
+	render := func() string {
+		res, err := Fig5(tinyOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.Render(&buf)
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("Fig5 output not reproducible")
+	}
+}
+
+func TestFig6Deterministic(t *testing.T) {
+	render := func() string {
+		res, err := Fig6(tinyOpts())
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		res.Render(&buf)
+		return buf.String()
+	}
+	if render() != render() {
+		t.Fatal("Fig6 output not reproducible")
+	}
+}
+
+func TestTable3Deterministic(t *testing.T) {
+	a := Table3(5)
+	b := Table3(5)
+	for i := range a.Funnels {
+		if a.Funnels[i] != b.Funnels[i] {
+			t.Fatal("Table3 funnels not reproducible")
+		}
+	}
+	// Different seed -> (almost surely) different funnel for the crowd.
+	c := Table3(6)
+	same := true
+	for i := range a.Funnels {
+		if a.Funnels[i] != c.Funnels[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds should perturb the funnel")
+	}
+}
+
+// TestSeedChangesVotesNotShapes: a different seed shifts individual numbers
+// but preserves the qualitative Figure 4 ordering on MSS.
+func TestSeedChangesVotesNotShapes(t *testing.T) {
+	opts := tinyOpts()
+	opts.Seed = 101
+	a, err := Fig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts.Seed = 202
+	b, err := Fig4(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range []Fig4Result{a, b} {
+		for _, s := range res.Shares {
+			if s.Network == "MSS" && s.Pair.A == "QUIC" && s.Pair.B == "TCP" {
+				if s.ShareA <= s.ShareB {
+					t.Fatalf("seed variant lost the MSS QUIC>TCP shape: %+v", s)
+				}
+			}
+		}
+	}
+}

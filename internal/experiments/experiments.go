@@ -1,0 +1,111 @@
+// Package experiments contains one runner per table and figure of the
+// paper's evaluation, plus the ablations and the 0-RTT extension experiment
+// from DESIGN.md. Each runner returns a structured result (asserted on by
+// tests and benchmarks) and can render itself as text (consumed by
+// cmd/qoebench and recorded in EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/study"
+)
+
+// Options configures a run.
+type Options struct {
+	Scale core.Scale
+	Seed  int64
+}
+
+// DefaultOptions uses the quick scale with the canonical seed.
+func DefaultOptions() Options {
+	return Options{Scale: core.QuickScale(), Seed: 1}
+}
+
+// Table1 prints the protocol-configuration table.
+func Table1(w io.Writer) {
+	fmt.Fprintf(w, "Table 1: protocol configurations\n")
+	fmt.Fprintf(w, "%-10s %s\n", "Protocol", "Description")
+	for _, row := range core.Table1() {
+		fmt.Fprintf(w, "%-10s %s\n", row.Protocol, row.Description)
+	}
+}
+
+// Table2 prints the network-configuration table.
+func Table2(w io.Writer) {
+	fmt.Fprintf(w, "Table 2: network configurations (queue %v, DSL %v)\n",
+		simnet.LTE.QueueDelay, simnet.DSL.QueueDelay)
+	fmt.Fprintf(w, "%-7s %10s %10s %9s %7s\n", "Network", "Uplink", "Downlink", "min. RTT", "Loss")
+	for _, n := range simnet.Networks() {
+		fmt.Fprintf(w, "%-7s %7.3f Mbps %7.3f Mbps %8s %6.1f%%\n",
+			n.Name, float64(n.UplinkBps)/1e6, float64(n.DownlinkBps)/1e6,
+			n.MinRTT, n.LossRate*100)
+	}
+}
+
+// networksByName resolves a list of Table 2 names.
+func networksByName(names []string) []simnet.NetworkConfig {
+	out := make([]simnet.NetworkConfig, 0, len(names))
+	for _, n := range names {
+		cfg, err := simnet.NetworkByName(n)
+		if err != nil {
+			panic(err)
+		}
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// sortedEnvNetPairs iterates (environment, network) cells in Figure 5 order.
+func sortedEnvNetPairs() []struct {
+	Env study.Environment
+	Net string
+} {
+	var out []struct {
+		Env study.Environment
+		Net string
+	}
+	for _, env := range study.Environments() {
+		for _, n := range study.EnvironmentNetworks(env) {
+			out = append(out, struct {
+				Env study.Environment
+				Net string
+			}{env, n})
+		}
+	}
+	return out
+}
+
+// meanOf is a tiny helper for aggregated prints.
+func meanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// sortShares orders Figure 4 cells by pair order then network order.
+func sortShares(shares []core.ABShare) {
+	pairIdx := map[string]int{}
+	for i, p := range study.Pairs() {
+		pairIdx[p.String()] = i
+	}
+	netIdx := map[string]int{}
+	for i, n := range simnet.Networks() {
+		netIdx[n.Name] = i
+	}
+	sort.SliceStable(shares, func(a, b int) bool {
+		if netIdx[shares[a].Network] != netIdx[shares[b].Network] {
+			return netIdx[shares[a].Network] < netIdx[shares[b].Network]
+		}
+		return pairIdx[shares[a].Pair.String()] < pairIdx[shares[b].Pair.String()]
+	})
+}

@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/simnet"
+	"repro/internal/study"
+)
+
+// Fig4Result carries the A/B study outcome: vote shares per protocol pair
+// and network, plus average replay counts.
+type Fig4Result struct {
+	Shares  []core.ABShare
+	Outcome core.ABOutcome
+}
+
+// Fig4 runs the A/B study for the µWorker group (the paper's main crowd)
+// over the full pair × network × site grid.
+func Fig4(opts Options) (Fig4Result, error) {
+	tb := core.NewTestbed(opts.Scale, opts.Seed)
+	nets := simnet.Networks()
+	// Prewarm everything Figure 4 touches, in parallel.
+	protos := map[string]bool{}
+	for _, p := range study.Pairs() {
+		protos[p.A] = true
+		protos[p.B] = true
+	}
+	var plist []string
+	for _, name := range core.ProtocolNames() {
+		if protos[name] {
+			plist = append(plist, name)
+		}
+	}
+	tb.Prewarm(nets, plist)
+
+	conditions, err := tb.ABConditions(nets)
+	if err != nil {
+		return Fig4Result{}, err
+	}
+	outcome := core.RunABStudy(study.Microworker, conditions, opts.Seed)
+	shares := outcome.Shares()
+	sortShares(shares)
+	return Fig4Result{Shares: shares, Outcome: outcome}, nil
+}
+
+// Share returns the cell for a pair and network.
+func (r Fig4Result) Share(pair study.ProtocolPair, network string) (core.ABShare, bool) {
+	for _, s := range r.Shares {
+		if s.Pair == pair && s.Network == network {
+			return s, true
+		}
+	}
+	return core.ABShare{}, false
+}
+
+// Render prints Figure 4 as a text table: share of votes per protocol
+// combination per network, with the average replay count.
+func (r Fig4Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Figure 4: A/B study vote shares per protocol combination and network\n")
+	fmt.Fprintf(w, "%-7s %-22s %8s %8s %8s %8s %6s\n",
+		"Network", "Pair", "fast(A)", "no diff", "slow(B)", "replays", "N")
+	lastNet := ""
+	for _, s := range r.Shares {
+		net := s.Network
+		if net == lastNet {
+			net = ""
+		} else {
+			lastNet = net
+		}
+		fmt.Fprintf(w, "%-7s %-22s %7.1f%% %7.1f%% %7.1f%% %8.2f %6d\n",
+			net, s.Pair.String(), 100*s.ShareA, 100*s.ShareNone, 100*s.ShareB,
+			s.AvgReplays, s.N)
+	}
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/conformance"
+	"repro/internal/participant"
+	"repro/internal/study"
+)
+
+// Table3Result carries the six funnels (3 groups × 2 studies).
+type Table3Result struct {
+	Funnels []conformance.Funnel
+}
+
+// Table3 simulates the participant populations of all groups and studies,
+// applies R1–R7, and returns the participation funnel (Table 3).
+func Table3(seed int64) Table3Result {
+	var res Table3Result
+	for _, g := range study.Groups() {
+		for _, k := range []conformance.StudyKind{conformance.AB, conformance.Rating} {
+			var n int
+			if k == conformance.AB {
+				n = study.ParticipationFor(g).AB
+			} else {
+				n = study.ParticipationFor(g).Rating
+			}
+			sessions := participant.Population(g, k, n, seed^int64(g)<<8^int64(k))
+			_, funnel := conformance.Filter(sessions)
+			res.Funnels = append(res.Funnels, funnel)
+		}
+	}
+	return res
+}
+
+// Render prints the funnel in the paper's Table 3 layout.
+func (r Table3Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Table 3: participation after each filter rule (final underlined in paper)\n")
+	fmt.Fprintf(w, "%-9s %-6s %5s", "Group", "Study", "-")
+	for i := 1; i <= conformance.RuleCount; i++ {
+		fmt.Fprintf(w, " %5s", fmt.Sprintf("R%d", i))
+	}
+	fmt.Fprintln(w)
+	for _, f := range r.Funnels {
+		fmt.Fprintln(w, f.String())
+	}
+}
+
+// Funnel returns the funnel for a group and study kind.
+func (r Table3Result) Funnel(g study.Group, k conformance.StudyKind) (conformance.Funnel, bool) {
+	for _, f := range r.Funnels {
+		if f.Group == g && f.Kind == k {
+			return f, true
+		}
+	}
+	return conformance.Funnel{}, false
+}

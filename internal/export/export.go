@@ -1,0 +1,144 @@
+// Package export serializes experiment results to CSV and JSON so the
+// figures can be re-plotted outside Go (the paper's artifacts are plots;
+// this is the bridge from the harness's structured results to gnuplot /
+// matplotlib input).
+package export
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+// WriteJSON writes any experiment result as indented JSON.
+func WriteJSON(w io.Writer, v interface{}) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+// Fig4CSV writes the A/B vote shares, one row per (network, pair).
+func Fig4CSV(w io.Writer, res experiments.Fig4Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"network", "pair_a", "pair_b", "share_a", "share_nodiff", "share_b", "avg_replays", "n"}); err != nil {
+		return err
+	}
+	for _, s := range res.Shares {
+		rec := []string{
+			s.Network, s.Pair.A, s.Pair.B,
+			f(s.ShareA), f(s.ShareNone), f(s.ShareB),
+			f(s.AvgReplays), strconv.Itoa(s.N),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig5CSV writes the rating cells, one row per (environment, network,
+// protocol).
+func Fig5CSV(w io.Writer, res experiments.Fig5Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"environment", "network", "protocol", "mean", "ci_lo", "ci_hi", "n"}); err != nil {
+		return err
+	}
+	for _, c := range res.Cells {
+		rec := []string{
+			c.Environment.String(), c.Network, c.Protocol,
+			f(c.CI.Point), f(c.CI.Lo), f(c.CI.Hi), strconv.Itoa(c.N),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Fig6CSV writes the correlation heatmap, one row per cell.
+func Fig6CSV(w io.Writer, res experiments.Fig6Result) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"protocol", "network", "metric", "pearson_r", "sites"}); err != nil {
+		return err
+	}
+	for _, c := range res.Cells {
+		rec := []string{c.Protocol, c.Network, c.Metric, f(c.R), strconv.Itoa(c.Sites)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Table3CSV writes the participation funnel.
+func Table3CSV(w io.Writer, res experiments.Table3Result) error {
+	cw := csv.NewWriter(w)
+	header := []string{"group", "study", "start"}
+	for i := 1; i <= 7; i++ {
+		header = append(header, fmt.Sprintf("after_r%d", i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, fu := range res.Funnels {
+		rec := []string{fu.Group.String(), fu.Kind.String(), strconv.Itoa(fu.Start)}
+		for _, a := range fu.After {
+			rec = append(rec, strconv.Itoa(a))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// TraceCSV writes a visual-progress trace (one page-load "video") as
+// time/VC rows — the raw series behind a Fig. 1-style filmstrip.
+func TraceCSV(w io.Writer, tr *metrics.Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"t_seconds", "visual_completeness"}); err != nil {
+		return err
+	}
+	for _, p := range tr.Points {
+		if err := cw.Write([]string{f(p.T.Seconds()), f(p.VC)}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ConditionMetricsCSV writes each (site, network, protocol) condition's
+// typical-video metrics — the Fig. 6 raw material.
+func ConditionMetricsCSV(w io.Writer, conds []core.RatingCondition) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"site", "network", "protocol", "environment",
+		"fvc_s", "si_s", "vc85_s", "lvc_s", "plt_s"}); err != nil {
+		return err
+	}
+	for _, c := range conds {
+		r := c.Rec.Report
+		rec := []string{
+			c.Site, c.Network, c.Protocol, c.Environment.String(),
+			f(r.FVC.Seconds()), f(r.SI.Seconds()), f(r.VC85.Seconds()),
+			f(r.LVC.Seconds()), f(r.PLT.Seconds()),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 4, 64) }

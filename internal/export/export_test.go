@@ -1,0 +1,134 @@
+package export
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/metrics"
+)
+
+func tinyOpts() experiments.Options {
+	return experiments.Options{
+		Scale: core.Scale{Sites: core.QuickScale().Sites[:2], Reps: 2},
+		Seed:  3,
+	}
+}
+
+func parseCSV(t *testing.T, b []byte) [][]string {
+	t.Helper()
+	rows, err := csv.NewReader(bytes.NewReader(b)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestFig4CSV(t *testing.T) {
+	res, err := experiments.Fig4(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Fig4CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.Bytes())
+	if len(rows) != 1+len(res.Shares) {
+		t.Fatalf("rows = %d, want %d", len(rows), 1+len(res.Shares))
+	}
+	if rows[0][0] != "network" || len(rows[1]) != 8 {
+		t.Fatalf("header/shape wrong: %v", rows[0])
+	}
+}
+
+func TestFig5CSV(t *testing.T) {
+	res, err := experiments.Fig5(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Fig5CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.Bytes())
+	if len(rows) != 1+len(res.Cells) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestFig6CSV(t *testing.T) {
+	res, err := experiments.Fig6(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Fig6CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "pearson_r") {
+		t.Fatal("missing header")
+	}
+}
+
+func TestTable3CSV(t *testing.T) {
+	res := experiments.Table3(1)
+	var buf bytes.Buffer
+	if err := Table3CSV(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.Bytes())
+	if len(rows) != 7 { // header + 6 funnels
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestTraceCSV(t *testing.T) {
+	tr := &metrics.Trace{
+		Points: []metrics.Point{
+			{T: 100 * time.Millisecond, VC: 0.5},
+			{T: 200 * time.Millisecond, VC: 1},
+		},
+		PLT:       time.Second,
+		Completed: true,
+	}
+	var buf bytes.Buffer
+	if err := TraceCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.Bytes())
+	if len(rows) != 3 || rows[1][0] != "0.1000" {
+		t.Fatalf("rows = %v", rows)
+	}
+}
+
+func TestConditionMetricsCSV(t *testing.T) {
+	tb := core.NewTestbed(core.Scale{Sites: core.QuickScale().Sites[:1], Reps: 1}, 1)
+	conds, err := tb.RatingConditions()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ConditionMetricsCSV(&buf, conds); err != nil {
+		t.Fatal(err)
+	}
+	rows := parseCSV(t, buf.Bytes())
+	if len(rows) != 1+len(conds) {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestWriteJSONRoundTrips(t *testing.T) {
+	res := experiments.Table3(1)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, res); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "Funnels") {
+		t.Fatal("JSON missing fields")
+	}
+}

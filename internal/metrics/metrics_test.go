@@ -1,0 +1,143 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+func ms(n int) time.Duration { return time.Duration(n) * time.Millisecond }
+
+func trace(plt int, pts ...Point) *Trace {
+	return &Trace{Points: pts, PLT: ms(plt), Completed: true}
+}
+
+func TestValidateGood(t *testing.T) {
+	tr := trace(100, Point{ms(10), 0.2}, Point{ms(50), 0.9}, Point{ms(80), 1})
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateBad(t *testing.T) {
+	bad := []*Trace{
+		trace(100, Point{ms(50), 0.5}, Point{ms(10), 0.6}), // time backwards
+		trace(100, Point{ms(10), 0.5}, Point{ms(20), 0.4}), // VC decreases
+		trace(100, Point{ms(10), 1.5}),                     // VC out of range
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Fatalf("case %d should fail validation", i)
+		}
+	}
+}
+
+func TestFVC(t *testing.T) {
+	tr := trace(100, Point{ms(10), 0}, Point{ms(30), 0.4}, Point{ms(90), 1})
+	v, ok := FVC(tr)
+	if !ok || v != ms(30) {
+		t.Fatalf("FVC = %v %v", v, ok)
+	}
+	if _, ok := FVC(trace(100)); ok {
+		t.Fatal("blank trace should have no FVC")
+	}
+}
+
+func TestLVC(t *testing.T) {
+	tr := trace(200, Point{ms(30), 0.4}, Point{ms(90), 1})
+	v, ok := LVC(tr)
+	if !ok || v != ms(90) {
+		t.Fatalf("LVC = %v %v", v, ok)
+	}
+}
+
+func TestLVCBeforePLT(t *testing.T) {
+	// Non-visual stragglers: PLT 500 ms but last paint at 90 ms.
+	tr := trace(500, Point{ms(30), 0.5}, Point{ms(90), 1})
+	v, _ := LVC(tr)
+	if v != ms(90) || tr.PLT != ms(500) {
+		t.Fatalf("LVC=%v PLT=%v", v, tr.PLT)
+	}
+}
+
+func TestVC85(t *testing.T) {
+	tr := trace(100, Point{ms(10), 0.5}, Point{ms(40), 0.85}, Point{ms(80), 1})
+	v, ok := VC85(tr)
+	if !ok || v != ms(40) {
+		t.Fatalf("VC85 = %v %v", v, ok)
+	}
+	low := trace(100, Point{ms(10), 0.5})
+	if _, ok := VC85(low); ok {
+		t.Fatal("VC85 unreachable should report false")
+	}
+}
+
+func TestSpeedIndexStepFunction(t *testing.T) {
+	// VC jumps 0 -> 1 at t=100ms: SI = 100 ms exactly.
+	tr := trace(100, Point{ms(100), 1})
+	si, ok := SpeedIndex(tr)
+	if !ok || si != ms(100) {
+		t.Fatalf("SI = %v %v, want 100ms", si, ok)
+	}
+}
+
+func TestSpeedIndexEarlyPaintBeatsLatePaint(t *testing.T) {
+	early := trace(200, Point{ms(20), 0.8}, Point{ms(200), 1})
+	late := trace(200, Point{ms(180), 0.8}, Point{ms(200), 1})
+	siE, _ := SpeedIndex(early)
+	siL, _ := SpeedIndex(late)
+	if siE >= siL {
+		t.Fatalf("early paint should have lower SI: %v vs %v", siE, siL)
+	}
+}
+
+func TestSpeedIndexPiecewise(t *testing.T) {
+	// 0..100ms at VC 0, then 0.5 until 300 ms, then 1.
+	// SI = 100ms*1 + 200ms*0.5 = 200 ms.
+	tr := trace(300, Point{ms(100), 0.5}, Point{ms(300), 1})
+	si, _ := SpeedIndex(tr)
+	if si != ms(200) {
+		t.Fatalf("SI = %v, want 200ms", si)
+	}
+}
+
+func TestComputeFull(t *testing.T) {
+	tr := trace(500, Point{ms(50), 0.3}, Point{ms(100), 0.9}, Point{ms(200), 1})
+	r := Compute(tr)
+	if !r.Complete {
+		t.Fatal("report should be complete")
+	}
+	if r.FVC != ms(50) || r.LVC != ms(200) || r.PLT != ms(500) {
+		t.Fatalf("report = %+v", r)
+	}
+	if r.VC85 != ms(100) {
+		t.Fatalf("VC85 = %v", r.VC85)
+	}
+}
+
+func TestComputeIncompleteTrace(t *testing.T) {
+	tr := trace(500)
+	if Compute(tr).Complete {
+		t.Fatal("blank trace cannot be complete")
+	}
+	aborted := trace(500, Point{ms(10), 1})
+	aborted.Completed = false
+	if Compute(aborted).Complete {
+		t.Fatal("aborted load cannot be complete")
+	}
+}
+
+func TestMetricSelector(t *testing.T) {
+	r := Report{FVC: 1, LVC: 2, SI: 3, VC85: 4, PLT: 5}
+	for i, name := range []string{"FVC", "LVC", "SI", "VC85", "PLT"} {
+		v, err := r.Metric(name)
+		if err != nil || v != time.Duration(i+1) {
+			t.Fatalf("Metric(%s) = %v %v", name, v, err)
+		}
+	}
+	if _, err := r.Metric("TTFB"); err == nil {
+		t.Fatal("unknown metric should error")
+	}
+	if len(Names()) != 5 {
+		t.Fatal("five metrics expected")
+	}
+}

@@ -1,0 +1,156 @@
+package simnet
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Frame is the unit the link layer moves: an opaque payload with a wire size.
+// Transport packets ride inside Payload; the link only cares about bytes.
+type Frame struct {
+	Size    int // wire size in bytes, including all header overhead
+	Payload interface{}
+}
+
+// LinkStats counts what happened on a link, for the retransmission analysis
+// the paper performs on the DA2GC inversion (§4.3: "we always found more
+// retransmissions for TCP+").
+type LinkStats struct {
+	Sent           uint64 // frames handed to the link
+	Delivered      uint64 // frames that reached the far end
+	DroppedLoss    uint64 // frames removed by random loss
+	DroppedQueue   uint64 // frames tail-dropped at the queue
+	BytesDelivered uint64
+	// MaxQueueBytes tracks the deepest observed queue occupancy.
+	MaxQueueBytes int
+}
+
+// LossRatio returns the fraction of sent frames dropped for any reason.
+func (st LinkStats) LossRatio() float64 {
+	if st.Sent == 0 {
+		return 0
+	}
+	return float64(st.DroppedLoss+st.DroppedQueue) / float64(st.Sent)
+}
+
+// Link models a unidirectional Mahimahi-style link: a droptail byte queue in
+// front of a constant-rate serializer, followed by fixed propagation delay,
+// with optional independent (Bernoulli) random loss applied to each frame as
+// it enters, mirroring Mahimahi's loss shell sitting outside the link shell.
+type Link struct {
+	sim *Simulator
+	rng *rand.Rand
+
+	// BandwidthBps is the serialization rate in bits per second.
+	BandwidthBps int64
+	// PropDelay is the one-way propagation delay added after serialization.
+	PropDelay time.Duration
+	// QueueCapBytes bounds the droptail queue. Frames arriving when the
+	// occupancy would exceed the cap are dropped.
+	QueueCapBytes int
+	// LossRate is the independent per-frame drop probability in [0, 1].
+	LossRate float64
+	// Deliver receives frames at the far end. Must be set before Send.
+	Deliver func(Frame)
+
+	queuedBytes int
+	busyUntil   time.Duration
+	Stats       LinkStats
+}
+
+// LinkConfig bundles the construction parameters for a Link.
+type LinkConfig struct {
+	BandwidthBps  int64
+	PropDelay     time.Duration
+	QueueCapBytes int
+	LossRate      float64
+}
+
+// NewLink builds a link on the simulator. rngLabel selects an independent
+// loss stream so uplink and downlink losses are uncorrelated.
+func NewLink(sim *Simulator, cfg LinkConfig, rngLabel int64) *Link {
+	return &Link{
+		sim:           sim,
+		rng:           sim.SubRand(rngLabel),
+		BandwidthBps:  cfg.BandwidthBps,
+		PropDelay:     cfg.PropDelay,
+		QueueCapBytes: cfg.QueueCapBytes,
+		LossRate:      cfg.LossRate,
+	}
+}
+
+// TxTime returns the serialization time of size bytes at the link rate.
+func (l *Link) TxTime(size int) time.Duration {
+	if l.BandwidthBps <= 0 {
+		return 0
+	}
+	bits := int64(size) * 8
+	return time.Duration(float64(bits) / float64(l.BandwidthBps) * float64(time.Second))
+}
+
+// QueueDelay returns the current queueing delay a newly arriving frame would
+// experience before starting serialization.
+func (l *Link) QueueDelay() time.Duration {
+	if l.busyUntil <= l.sim.Now() {
+		return 0
+	}
+	return l.busyUntil - l.sim.Now()
+}
+
+// QueuedBytes returns the current queue occupancy.
+func (l *Link) QueuedBytes() int { return l.queuedBytes }
+
+// Send pushes a frame onto the link. The frame is dropped with probability
+// LossRate, or if the droptail queue is full; otherwise it is serialized
+// after the frames ahead of it and delivered PropDelay later.
+func (l *Link) Send(f Frame) {
+	if l.Deliver == nil {
+		panic("simnet: Link.Deliver not set")
+	}
+	if f.Size <= 0 {
+		panic(fmt.Sprintf("simnet: invalid frame size %d", f.Size))
+	}
+	l.Stats.Sent++
+	if l.LossRate > 0 && l.rng.Float64() < l.LossRate {
+		l.Stats.DroppedLoss++
+		return
+	}
+	if l.QueueCapBytes > 0 && l.queuedBytes+f.Size > l.QueueCapBytes {
+		l.Stats.DroppedQueue++
+		return
+	}
+	l.queuedBytes += f.Size
+	if l.queuedBytes > l.Stats.MaxQueueBytes {
+		l.Stats.MaxQueueBytes = l.queuedBytes
+	}
+
+	now := l.sim.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	departure := start + l.TxTime(f.Size)
+	l.busyUntil = departure
+
+	frame := f
+	l.sim.ScheduleAt(departure, func() {
+		l.queuedBytes -= frame.Size
+	})
+	l.sim.ScheduleAt(departure+l.PropDelay, func() {
+		l.Stats.Delivered++
+		l.Stats.BytesDelivered += uint64(frame.Size)
+		l.Deliver(frame)
+	})
+}
+
+// QueueCapForDelay converts a queue size expressed as a maximum queueing
+// delay (the paper's "queue size is set to 200 ms, except DSL with 12 ms")
+// into a byte capacity at the given link rate.
+func QueueCapForDelay(bandwidthBps int64, d time.Duration) int {
+	bytes := float64(bandwidthBps) / 8 * d.Seconds()
+	if bytes < 1 {
+		return 1
+	}
+	return int(bytes)
+}

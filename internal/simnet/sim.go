@@ -1,0 +1,180 @@
+// Package simnet is a deterministic discrete-event network simulator that
+// stands in for the paper's Mahimahi testbed. It models exactly the three
+// network properties Mahimahi's shells emulate and the paper controls
+// (Table 2): link bandwidth (packet serialization), propagation delay, and a
+// droptail queue sized in milliseconds, plus independent random packet loss.
+//
+// Virtual time is fully decoupled from wall time, and all randomness flows
+// from an explicit seed, so every experiment in this repository is
+// bit-reproducible.
+package simnet
+
+import (
+	"container/heap"
+	"math/rand"
+	"time"
+)
+
+// Timer is a handle to a scheduled event that can be cancelled or
+// rescheduled. The zero value is not usable; timers come from
+// Simulator.Schedule.
+type Timer struct {
+	at        time.Duration
+	seq       uint64
+	fn        func()
+	cancelled bool
+	fired     bool
+}
+
+// Cancel prevents the timer from firing. Cancelling an already-fired or
+// already-cancelled timer is a no-op.
+func (t *Timer) Cancel() {
+	if t != nil {
+		t.cancelled = true
+	}
+}
+
+// Active reports whether the timer is still pending.
+func (t *Timer) Active() bool {
+	return t != nil && !t.cancelled && !t.fired
+}
+
+// At returns the virtual time the timer is scheduled to fire.
+func (t *Timer) At() time.Duration { return t.at }
+
+type eventHeap []*Timer
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq // FIFO among simultaneous events
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*Timer)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+// Simulator owns a virtual clock and an event queue. It is not safe for
+// concurrent use; the whole simulation is single-threaded by design, which
+// both matches the deterministic-replay requirement and avoids lock overhead
+// in the event loop.
+type Simulator struct {
+	now    time.Duration
+	events eventHeap
+	seq    uint64
+	rng    *rand.Rand
+
+	// Processed counts events executed, for instrumentation and benchmarks.
+	Processed uint64
+}
+
+// New returns a simulator whose random stream is derived from seed.
+func New(seed int64) *Simulator {
+	return &Simulator{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now returns the current virtual time (duration since simulation start).
+func (s *Simulator) Now() time.Duration { return s.now }
+
+// Rand exposes the simulator's seeded random stream. Components that need
+// independent streams should use SubRand.
+func (s *Simulator) Rand() *rand.Rand { return s.rng }
+
+// SubRand derives an independent deterministic random stream from the
+// simulator seed and a caller-chosen label, so that adding a new consumer of
+// randomness does not perturb existing draws.
+func (s *Simulator) SubRand(label int64) *rand.Rand {
+	return rand.New(rand.NewSource(s.rng.Int63() ^ label))
+}
+
+// Schedule runs fn after delay of virtual time. A negative delay is treated
+// as zero (run at the current instant, after already-queued events for that
+// instant). It returns a Timer handle that may be cancelled.
+func (s *Simulator) Schedule(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		delay = 0
+	}
+	return s.ScheduleAt(s.now+delay, fn)
+}
+
+// ScheduleAt runs fn at absolute virtual time at. Times in the past are
+// clamped to the current instant.
+func (s *Simulator) ScheduleAt(at time.Duration, fn func()) *Timer {
+	if at < s.now {
+		at = s.now
+	}
+	t := &Timer{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.events, t)
+	return t
+}
+
+// step executes the earliest pending event. It reports false when the queue
+// is empty.
+func (s *Simulator) step() bool {
+	for s.events.Len() > 0 {
+		t := heap.Pop(&s.events).(*Timer)
+		if t.cancelled {
+			continue
+		}
+		s.now = t.at
+		t.fired = true
+		s.Processed++
+		t.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty.
+func (s *Simulator) Run() {
+	for s.step() {
+	}
+}
+
+// RunUntil executes events with timestamps <= deadline and then advances the
+// clock to the deadline. Events scheduled past the deadline stay queued.
+func (s *Simulator) RunUntil(deadline time.Duration) {
+	for {
+		// Peek without popping.
+		var next *Timer
+		for s.events.Len() > 0 {
+			cand := s.events[0]
+			if cand.cancelled {
+				heap.Pop(&s.events)
+				continue
+			}
+			next = cand
+			break
+		}
+		if next == nil || next.at > deadline {
+			break
+		}
+		s.step()
+	}
+	if s.now < deadline {
+		s.now = deadline
+	}
+}
+
+// RunFor runs for d of virtual time starting now.
+func (s *Simulator) RunFor(d time.Duration) { s.RunUntil(s.now + d) }
+
+// Pending returns the number of live (non-cancelled) queued events.
+func (s *Simulator) Pending() int {
+	n := 0
+	for _, t := range s.events {
+		if !t.cancelled {
+			n++
+		}
+	}
+	return n
+}

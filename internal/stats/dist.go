@@ -1,0 +1,274 @@
+package stats
+
+import "math"
+
+// This file implements the distribution functions the analysis needs:
+// standard normal, Student's t, and Fisher's F. The t and F CDFs are built on
+// the regularized incomplete beta function, evaluated with the Lentz
+// continued-fraction algorithm (Numerical Recipes §6.4).
+
+// NormalCDF returns P(Z <= z) for a standard normal Z.
+func NormalCDF(z float64) float64 {
+	return 0.5 * math.Erfc(-z/math.Sqrt2)
+}
+
+// NormalQuantile returns the z such that NormalCDF(z) = p for p in (0, 1).
+// It uses the Acklam rational approximation refined by one Halley step,
+// accurate to ~1e-15 over the open interval.
+func NormalQuantile(p float64) float64 {
+	if math.IsNaN(p) || p <= 0 || p >= 1 {
+		if p == 0 {
+			return math.Inf(-1)
+		}
+		if p == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	// Coefficients for the Acklam approximation.
+	a := [6]float64{-3.969683028665376e+01, 2.209460984245205e+02,
+		-2.759285104469687e+02, 1.383577518672690e+02,
+		-3.066479806614716e+01, 2.506628277459239e+00}
+	b := [5]float64{-5.447609879822406e+01, 1.615858368580409e+02,
+		-1.556989798598866e+02, 6.680131188771972e+01,
+		-1.328068155288572e+01}
+	c := [6]float64{-7.784894002430293e-03, -3.223964580411365e-01,
+		-2.400758277161838e+00, -2.549732539343734e+00,
+		4.374664141464968e+00, 2.938163982698783e+00}
+	d := [4]float64{7.784695709041462e-03, 3.224671290700398e-01,
+		2.445134137142996e+00, 3.754408661907416e+00}
+
+	const pLow = 0.02425
+	var x float64
+	switch {
+	case p < pLow:
+		q := math.Sqrt(-2 * math.Log(p))
+		x = (((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	case p <= 1-pLow:
+		q := p - 0.5
+		r := q * q
+		x = (((((a[0]*r+a[1])*r+a[2])*r+a[3])*r+a[4])*r + a[5]) * q /
+			(((((b[0]*r+b[1])*r+b[2])*r+b[3])*r+b[4])*r + 1)
+	default:
+		q := math.Sqrt(-2 * math.Log(1-p))
+		x = -(((((c[0]*q+c[1])*q+c[2])*q+c[3])*q+c[4])*q + c[5]) /
+			((((d[0]*q+d[1])*q+d[2])*q+d[3])*q + 1)
+	}
+	// One Halley refinement step against the true CDF.
+	e := NormalCDF(x) - p
+	u := e * math.Sqrt(2*math.Pi) * math.Exp(x*x/2)
+	x = x - u/(1+x*u/2)
+	return x
+}
+
+// lnBeta returns ln(B(a, b)).
+func lnBeta(a, b float64) float64 {
+	la, _ := math.Lgamma(a)
+	lb, _ := math.Lgamma(b)
+	lab, _ := math.Lgamma(a + b)
+	return la + lb - lab
+}
+
+// RegIncompleteBeta returns the regularized incomplete beta function
+// I_x(a, b) for a, b > 0 and x in [0, 1].
+func RegIncompleteBeta(a, b, x float64) float64 {
+	switch {
+	case x <= 0:
+		return 0
+	case x >= 1:
+		return 1
+	}
+	// Continued fraction converges fastest for x < (a+1)/(a+b+2); otherwise
+	// use the symmetry relation I_x(a,b) = 1 - I_{1-x}(b,a).
+	front := math.Exp(a*math.Log(x)+b*math.Log(1-x)-lnBeta(a, b)) / a
+	if x < (a+1)/(a+b+2) {
+		return front * betaCF(a, b, x)
+	}
+	frontSym := math.Exp(b*math.Log(1-x)+a*math.Log(x)-lnBeta(a, b)) / b
+	return 1 - frontSym*betaCF(b, a, 1-x)
+}
+
+// betaCF evaluates the continued fraction for the incomplete beta function
+// using the modified Lentz method.
+func betaCF(a, b, x float64) float64 {
+	const (
+		maxIter = 300
+		eps     = 3e-15
+		tiny    = 1e-300
+	)
+	qab := a + b
+	qap := a + 1
+	qam := a - 1
+	c := 1.0
+	d := 1 - qab*x/qap
+	if math.Abs(d) < tiny {
+		d = tiny
+	}
+	d = 1 / d
+	h := d
+	for m := 1; m <= maxIter; m++ {
+		fm := float64(m)
+		m2 := 2 * fm
+		// Even step.
+		aa := fm * (b - fm) * x / ((qam + m2) * (a + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		h *= d * c
+		// Odd step.
+		aa = -(a + fm) * (qab + fm) * x / ((a + m2) * (qap + m2))
+		d = 1 + aa*d
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = 1 + aa/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return h
+}
+
+// StudentTCDF returns P(T <= t) for Student's t with df degrees of freedom.
+func StudentTCDF(t, df float64) float64 {
+	if df <= 0 {
+		return math.NaN()
+	}
+	if t == 0 {
+		return 0.5
+	}
+	x := df / (df + t*t)
+	p := 0.5 * RegIncompleteBeta(df/2, 0.5, x)
+	if t > 0 {
+		return 1 - p
+	}
+	return p
+}
+
+// StudentTQuantile returns the t with StudentTCDF(t, df) = p, via bisection
+// seeded with the normal quantile (monotone, so bisection is robust).
+func StudentTQuantile(p, df float64) float64 {
+	if p <= 0 || p >= 1 || df <= 0 {
+		if p == 0 {
+			return math.Inf(-1)
+		}
+		if p == 1 {
+			return math.Inf(1)
+		}
+		return math.NaN()
+	}
+	if p == 0.5 {
+		return 0
+	}
+	// Bracket around the normal quantile, expanding as needed for small df.
+	z := NormalQuantile(p)
+	lo, hi := z-1, z+1
+	for StudentTCDF(lo, df) > p {
+		lo -= math.Max(1, math.Abs(lo))
+	}
+	for StudentTCDF(hi, df) < p {
+		hi += math.Max(1, math.Abs(hi))
+	}
+	for i := 0; i < 200; i++ {
+		mid := (lo + hi) / 2
+		if StudentTCDF(mid, df) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi-lo < 1e-12*(1+math.Abs(hi)) {
+			break
+		}
+	}
+	return (lo + hi) / 2
+}
+
+// FCDF returns P(F <= f) for Fisher's F with (d1, d2) degrees of freedom.
+func FCDF(f, d1, d2 float64) float64 {
+	if f <= 0 || d1 <= 0 || d2 <= 0 {
+		return 0
+	}
+	x := d1 * f / (d1*f + d2)
+	return RegIncompleteBeta(d1/2, d2/2, x)
+}
+
+// FSurvival returns P(F > f), the p-value of an observed F statistic.
+func FSurvival(f, d1, d2 float64) float64 {
+	return 1 - FCDF(f, d1, d2)
+}
+
+// ChiSquareCDF returns P(X <= x) for a chi-square with k degrees of freedom,
+// via the regularized lower incomplete gamma function.
+func ChiSquareCDF(x, k float64) float64 {
+	if x <= 0 || k <= 0 {
+		return 0
+	}
+	return regLowerGamma(k/2, x/2)
+}
+
+// regLowerGamma computes P(a, x), the regularized lower incomplete gamma
+// function, by series for x < a+1 and continued fraction otherwise.
+func regLowerGamma(a, x float64) float64 {
+	if x < 0 || a <= 0 {
+		return math.NaN()
+	}
+	if x == 0 {
+		return 0
+	}
+	lg, _ := math.Lgamma(a)
+	if x < a+1 {
+		// Series expansion.
+		ap := a
+		sum := 1 / a
+		del := sum
+		for i := 0; i < 500; i++ {
+			ap++
+			del *= x / ap
+			sum += del
+			if math.Abs(del) < math.Abs(sum)*1e-15 {
+				break
+			}
+		}
+		return sum * math.Exp(-x+a*math.Log(x)-lg)
+	}
+	// Continued fraction for Q(a, x), then P = 1 - Q.
+	const tiny = 1e-300
+	b := x + 1 - a
+	c := 1 / tiny
+	d := 1 / b
+	h := d
+	for i := 1; i <= 500; i++ {
+		fi := float64(i)
+		an := -fi * (fi - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < tiny {
+			d = tiny
+		}
+		c = b + an/c
+		if math.Abs(c) < tiny {
+			c = tiny
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < 1e-15 {
+			break
+		}
+	}
+	q := math.Exp(-x+a*math.Log(x)-lg) * h
+	return 1 - q
+}

@@ -1,0 +1,208 @@
+// Package sweep runs parameter sweeps around the paper's four network
+// operating points: it varies one network dimension (bandwidth, RTT, loss)
+// while holding the rest fixed, measures the QUIC-vs-TCP Speed Index gap at
+// each step, and feeds the gaps through the perception model to locate the
+// noticeability crossover — the quantitative version of the paper's
+// conclusion that "if network speeds increase, the difficulty of spotting a
+// difference rises".
+package sweep
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/browser"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/participant"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/study"
+	"repro/internal/webpage"
+)
+
+// Dimension selects which network knob the sweep turns.
+type Dimension int
+
+const (
+	// Bandwidth scales both directions' rates.
+	Bandwidth Dimension = iota
+	// RTT scales the base round-trip time.
+	RTT
+	// Loss sets the iid loss rate directly.
+	Loss
+	// Speed scales the whole network jointly: bandwidth up and RTT down by
+	// the same factor — "a faster network" in the paper's sense (its four
+	// operating points differ in both at once). This is the dimension along
+	// which noticing protocol differences gets harder.
+	Speed
+)
+
+func (d Dimension) String() string {
+	switch d {
+	case Bandwidth:
+		return "bandwidth"
+	case RTT:
+		return "rtt"
+	case Loss:
+		return "loss"
+	case Speed:
+		return "speed"
+	}
+	return "?"
+}
+
+// Point is one sweep step.
+type Point struct {
+	// Value is the swept quantity: Mbps (Bandwidth), milliseconds (RTT),
+	// or loss fraction (Loss).
+	Value float64
+	// SIA and SIB are mean Speed Indices of the two stacks.
+	SIA, SIB time.Duration
+	// GapRatio is SIB/SIA (>1 means stack A faster).
+	GapRatio float64
+	// PNoticeShare is the fraction of a simulated µWorker panel that votes
+	// for either side (i.e. perceives a difference) on the typical pair.
+	PNoticeShare float64
+}
+
+// Config parameterizes a sweep.
+type Config struct {
+	Dim    Dimension
+	Base   simnet.NetworkConfig
+	Values []float64 // sweep steps, in the dimension's unit
+	// ProtoA / ProtoB are Table 1 names; A is the supposedly faster stack.
+	ProtoA, ProtoB string
+	Sites          []*webpage.Site
+	Reps           int
+	PanelSize      int // simulated voters per step (default 200)
+	Seed           int64
+}
+
+// Result is a completed sweep.
+type Result struct {
+	Cfg    Config
+	Points []Point
+}
+
+// apply returns the base network with the dimension set to v.
+func apply(base simnet.NetworkConfig, dim Dimension, v float64) simnet.NetworkConfig {
+	out := base
+	switch dim {
+	case Bandwidth:
+		out.UplinkBps = int64(v * 1e6 / 5) // keep the paper's 1:5 up:down shape
+		if out.UplinkBps < 100_000 {
+			out.UplinkBps = 100_000
+		}
+		out.DownlinkBps = int64(v * 1e6)
+		out.Name = fmt.Sprintf("%s@%gMbps", base.Name, v)
+	case RTT:
+		out.MinRTT = time.Duration(v * float64(time.Millisecond))
+		out.Name = fmt.Sprintf("%s@%gms", base.Name, v)
+	case Loss:
+		out.LossRate = v
+		out.Name = fmt.Sprintf("%s@%g%%", base.Name, v*100)
+	case Speed:
+		out.UplinkBps = int64(float64(base.UplinkBps) * v)
+		out.DownlinkBps = int64(float64(base.DownlinkBps) * v)
+		out.MinRTT = time.Duration(float64(base.MinRTT) / v)
+		out.Name = fmt.Sprintf("%s@x%g", base.Name, v)
+	}
+	return out
+}
+
+// meanReport loads the sites reps times and returns the mean SI and a
+// representative report for the perception panel.
+func meanReport(sites []*webpage.Site, net simnet.NetworkConfig, protoName string, reps int, seed int64) (time.Duration, metrics.Report) {
+	var sis, fvcs []float64
+	for _, site := range sites {
+		for i := 0; i < reps; i++ {
+			res := browser.Load(site, browser.Config{
+				Network: net,
+				Proto:   core.MustProtocol(protoName, net),
+				Seed:    seed + int64(i)*104729,
+			})
+			if res.Report.Complete {
+				sis = append(sis, res.Report.SI.Seconds())
+				fvcs = append(fvcs, res.Report.FVC.Seconds())
+			}
+		}
+	}
+	if len(sis) == 0 {
+		return 0, metrics.Report{}
+	}
+	si := time.Duration(stats.Mean(sis) * float64(time.Second))
+	fvc := time.Duration(stats.Mean(fvcs) * float64(time.Second))
+	return si, metrics.Report{SI: si, FVC: fvc, VC85: si, LVC: si, PLT: si, Complete: true}
+}
+
+// Run executes the sweep.
+func Run(cfg Config) (Result, error) {
+	if cfg.ProtoA == "" || cfg.ProtoB == "" {
+		return Result{}, fmt.Errorf("sweep: both protocols required")
+	}
+	if len(cfg.Values) == 0 {
+		return Result{}, fmt.Errorf("sweep: no sweep values")
+	}
+	if len(cfg.Sites) == 0 {
+		cfg.Sites = webpage.LabCorpus()
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = 3
+	}
+	if cfg.PanelSize <= 0 {
+		cfg.PanelSize = 200
+	}
+	res := Result{Cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x53574545)) // "SWEE"
+	for _, v := range cfg.Values {
+		net := apply(cfg.Base, cfg.Dim, v)
+		siA, repA := meanReport(cfg.Sites, net, cfg.ProtoA, cfg.Reps, cfg.Seed)
+		siB, repB := meanReport(cfg.Sites, net, cfg.ProtoB, cfg.Reps, cfg.Seed)
+		if siA == 0 || siB == 0 {
+			return Result{}, fmt.Errorf("sweep: no complete loads at %s=%g", cfg.Dim, v)
+		}
+		noticed := 0
+		for i := 0; i < cfg.PanelSize; i++ {
+			m := participant.New(study.Microworker, rng)
+			vote, _, _ := m.ABVote(repA, repB)
+			if vote != study.VoteNoDifference {
+				noticed++
+			}
+		}
+		res.Points = append(res.Points, Point{
+			Value:        v,
+			SIA:          siA,
+			SIB:          siB,
+			GapRatio:     float64(siB) / float64(siA),
+			PNoticeShare: float64(noticed) / float64(cfg.PanelSize),
+		})
+	}
+	return res, nil
+}
+
+// Crossover returns the first swept value at which the notice share drops
+// below the threshold (scanning in the given order), and whether it exists —
+// "how fast does the network have to get before users stop noticing".
+func (r Result) Crossover(threshold float64) (float64, bool) {
+	for _, p := range r.Points {
+		if p.PNoticeShare < threshold {
+			return p.Value, true
+		}
+	}
+	return 0, false
+}
+
+// Render prints the sweep as a table.
+func (r Result) Render(w io.Writer) {
+	fmt.Fprintf(w, "Sweep %s over %s: %s vs %s\n",
+		r.Cfg.Dim, r.Cfg.Base.Name, r.Cfg.ProtoA, r.Cfg.ProtoB)
+	fmt.Fprintf(w, "%12s %12s %12s %8s %9s\n", "value", "SI(A)", "SI(B)", "B/A", "noticed")
+	for _, p := range r.Points {
+		fmt.Fprintf(w, "%12g %12s %12s %8.2f %8.0f%%\n",
+			p.Value, p.SIA.Round(time.Millisecond), p.SIB.Round(time.Millisecond),
+			p.GapRatio, p.PNoticeShare*100)
+	}
+}

@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/simnet"
+	"repro/internal/webpage"
+)
+
+func smallCfg(dim Dimension, values []float64) Config {
+	return Config{
+		Dim:       dim,
+		Base:      simnet.LTE,
+		Values:    values,
+		ProtoA:    "QUIC",
+		ProtoB:    "TCP",
+		Sites:     webpage.LabCorpus()[:2],
+		Reps:      2,
+		PanelSize: 150,
+		Seed:      5,
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(Config{}); err == nil {
+		t.Fatal("missing protocols should error")
+	}
+	cfg := smallCfg(Bandwidth, nil)
+	if _, err := Run(cfg); err == nil {
+		t.Fatal("missing values should error")
+	}
+}
+
+func TestBandwidthSweepSpeedsLoading(t *testing.T) {
+	cfg := smallCfg(Bandwidth, []float64{0.5, 4, 50})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 3 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	// SI must fall monotonically with bandwidth for both stacks.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].SIA >= res.Points[i-1].SIA {
+			t.Fatalf("SI(A) not decreasing with bandwidth: %v", res.Points)
+		}
+	}
+}
+
+func TestSpeedSweepNoticeabilityFalls(t *testing.T) {
+	// As the whole network gets faster (more bandwidth AND less delay, the
+	// paper's notion of a "fast" network), the QUIC/TCP difference becomes
+	// harder to see: the notice share must fall from the slowest to the
+	// fastest step — the paper's conclusion, quantified.
+	cfg := smallCfg(Speed, []float64{0.25, 1, 4})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := res.Points[0].PNoticeShare
+	fast := res.Points[2].PNoticeShare
+	if fast >= slow {
+		t.Fatalf("noticing should fall as networks speed up: %0.2f (x0.25) -> %0.2f (x4)", slow, fast)
+	}
+	// A crossover below 55% noticing exists in the range (side-guessing by
+	// non-noticers floors the vote-based share around ~20%, so 55% means
+	// under half the panel genuinely perceives the difference).
+	if _, ok := res.Crossover(0.55); !ok {
+		t.Fatalf("expected a noticeability crossover: %+v", res.Points)
+	}
+}
+
+func TestLossSweepWidensGap(t *testing.T) {
+	// More random loss should (weakly) favour QUIC's recovery machinery:
+	// the B/A gap at 5% loss should be at least the gap at 0%.
+	cfg := smallCfg(Loss, []float64{0, 0.05})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[1].SIA <= res.Points[0].SIA {
+		t.Fatal("loss should slow loading")
+	}
+}
+
+func TestRTTSweepSlowsLoading(t *testing.T) {
+	cfg := smallCfg(RTT, []float64{20, 400})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Points[1].SIA <= res.Points[0].SIA {
+		t.Fatal("higher RTT should slow loading")
+	}
+	// The absolute QUIC handshake saving grows with RTT, so noticing should
+	// not get harder.
+	if res.Points[1].PNoticeShare < res.Points[0].PNoticeShare-0.05 {
+		t.Fatalf("noticing should not fall with RTT: %v", res.Points)
+	}
+}
+
+func TestCrossover(t *testing.T) {
+	r := Result{Points: []Point{
+		{Value: 1, PNoticeShare: 0.9},
+		{Value: 10, PNoticeShare: 0.5},
+		{Value: 100, PNoticeShare: 0.2},
+	}}
+	v, ok := r.Crossover(0.4)
+	if !ok || v != 100 {
+		t.Fatalf("crossover = %v %v", v, ok)
+	}
+	if _, ok := r.Crossover(0.1); ok {
+		t.Fatal("no point below 0.1")
+	}
+}
+
+func TestRender(t *testing.T) {
+	cfg := smallCfg(Bandwidth, []float64{4})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	res.Render(&buf)
+	if buf.Len() == 0 {
+		t.Fatal("empty render")
+	}
+	for _, d := range []Dimension{Bandwidth, RTT, Loss, Dimension(9)} {
+		_ = d.String()
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	cfg := smallCfg(Bandwidth, []float64{2})
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Points[0] != b.Points[0] {
+		t.Fatalf("sweep not deterministic: %+v vs %+v", a.Points[0], b.Points[0])
+	}
+}

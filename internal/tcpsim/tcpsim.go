@@ -1,0 +1,133 @@
+// Package tcpsim models the TCP+TLS+HTTP/2 side of the paper's comparison:
+// a Linux-like TCP stack whose tunables are exactly the dimensions of
+// Table 1 — initial congestion window, pacing, congestion controller,
+// buffer sizing, and slow-start-after-idle — over a 2-RTT TCP+TLS 1.3
+// establishment (the paper's "2-RTT TCP/TLS" against QUIC's 1-RTT, §3).
+//
+// The three TCP rows of Table 1:
+//
+//	TCP      stock Linux: IW10, Cubic, no pacing, idle restart on
+//	TCP+     IW32, pacing, Cubic, tuned (BDP) buffers, no idle restart
+//	TCP+BBR  as TCP+, but BBRv1
+package tcpsim
+
+import (
+	"time"
+
+	"repro/internal/congestion"
+	"repro/internal/transport"
+)
+
+// Handshake flight sizes (bytes): SYN, SYN-ACK, TLS 1.3 ClientHello, the
+// server flight (ServerHello, EncryptedExtensions, Certificate, Finished),
+// and the client Finished. Sizes approximate a typical RSA-cert exchange.
+const (
+	synBytes          = 60
+	synAckBytes       = 60
+	clientHelloBytes  = 350
+	serverFlightBytes = 2900
+	clientFinBytes    = 80
+)
+
+// stockRecvBuf approximates Linux's effective default receive buffer before
+// window tuning (tcp_rmem default with moderate autotuning headroom).
+const stockRecvBuf = 256 << 10
+
+// Options selects one TCP stack configuration.
+type Options struct {
+	// Name labels the configuration in outputs ("TCP", "TCP+", "TCP+BBR").
+	Name string
+	// IWSegments is the initial congestion window (10 stock, 32 tuned).
+	IWSegments int
+	// Pacing enables fq pacing (tuned stacks only).
+	Pacing bool
+	// CC selects "cubic" or "bbr".
+	CC string
+	// SlowStartAfterIdle restores IW after idle (stock Linux on; tuned off).
+	SlowStartAfterIdle bool
+	// RecvBuf is the receive buffer in bytes; the tuned stacks set it from
+	// the network's bandwidth-delay product.
+	RecvBuf int64
+}
+
+// Stock returns the paper's "TCP" row: unmodified Linux defaults.
+func Stock() Options {
+	return Options{
+		Name:               "TCP",
+		IWSegments:         10,
+		Pacing:             false,
+		CC:                 "cubic",
+		SlowStartAfterIdle: true,
+		RecvBuf:            stockRecvBuf,
+	}
+}
+
+// Tuned returns the paper's "TCP+" row: parameterized like gQUIC. bdpBytes
+// sizes the buffers ("enlarge the send and receive buffers according to the
+// bandwidth-delay product").
+func Tuned(bdpBytes int) Options {
+	buf := int64(4 * bdpBytes)
+	if buf < stockRecvBuf {
+		buf = stockRecvBuf
+	}
+	return Options{
+		Name:               "TCP+",
+		IWSegments:         32,
+		Pacing:             true,
+		CC:                 "cubic",
+		SlowStartAfterIdle: false,
+		RecvBuf:            buf,
+	}
+}
+
+// TunedBBR returns the paper's "TCP+BBR" row.
+func TunedBBR(bdpBytes int) Options {
+	o := Tuned(bdpBytes)
+	o.Name = "TCP+BBR"
+	o.CC = "bbr"
+	return o
+}
+
+// Semantics returns the TCP transport semantics: one in-order byte stream,
+// cumulative ACK + 3 SACK blocks, 40 ms delayed acks, IP+TCP header
+// overhead, and the 2-RTT TCP+TLS 1.3 establishment script.
+func Semantics() transport.Semantics {
+	return transport.Semantics{
+		ByteStream:            true,
+		MaxSackBlocks:         3,
+		AckEvery:              2,
+		AckDelay:              40 * time.Millisecond,
+		PacketOverhead:        40, // IPv4 20 + TCP 20 (options amortized)
+		LossThresholdSegments: 3,
+		Handshake: []transport.HandshakeStep{
+			{FromClient: true, Bytes: synBytes},
+			{FromClient: false, Bytes: synAckBytes},
+			{FromClient: true, Bytes: clientHelloBytes},
+			{FromClient: false, Bytes: serverFlightBytes},
+			{FromClient: true, Bytes: clientFinBytes},
+		},
+	}
+}
+
+// NewConnPair creates a TCP connection (both halves) on the shared network.
+// The server half sends responses, so it carries the full data-path
+// configuration; the client half mirrors it for the request direction.
+func NewConnPair(net *transport.Network, opts Options) (client, server *transport.Conn) {
+	mss := congestion.DefaultMSS
+	mkCC := func() congestion.Controller {
+		ccfg := congestion.Config{
+			InitialWindowSegments: opts.IWSegments,
+			MSS:                   mss,
+			SlowStartAfterIdle:    opts.SlowStartAfterIdle,
+		}
+		cc := congestion.New(opts.CC, ccfg)
+		if cub, ok := cc.(*congestion.Cubic); ok && opts.Pacing {
+			cub.EnablePacing()
+		}
+		return cc
+	}
+	sem := Semantics()
+	clientCfg := transport.Config{MSS: mss, CC: mkCC(), Pacing: opts.Pacing, RecvBuf: opts.RecvBuf, Sem: sem}
+	serverCfg := transport.Config{MSS: mss, CC: mkCC(), Pacing: opts.Pacing, RecvBuf: opts.RecvBuf, Sem: sem}
+	return net.NewConnPair(clientCfg, serverCfg)
+}

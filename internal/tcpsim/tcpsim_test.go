@@ -1,0 +1,116 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/simnet"
+	"repro/internal/transport"
+)
+
+func TestOptionsTable1Rows(t *testing.T) {
+	s := Stock()
+	if s.IWSegments != 10 || s.Pacing || s.CC != "cubic" || !s.SlowStartAfterIdle {
+		t.Fatalf("stock row wrong: %+v", s)
+	}
+	p := Tuned(100_000)
+	if p.IWSegments != 32 || !p.Pacing || p.CC != "cubic" || p.SlowStartAfterIdle {
+		t.Fatalf("TCP+ row wrong: %+v", p)
+	}
+	if p.RecvBuf < 400_000 {
+		t.Fatalf("tuned buffers should scale with BDP, got %d", p.RecvBuf)
+	}
+	b := TunedBBR(100_000)
+	if b.CC != "bbr" || b.Name != "TCP+BBR" {
+		t.Fatalf("TCP+BBR row wrong: %+v", b)
+	}
+}
+
+func TestTunedBufferFloor(t *testing.T) {
+	if Tuned(10).RecvBuf < stockRecvBuf {
+		t.Fatal("tuned buffer must not fall below the stock default")
+	}
+}
+
+func TestSemanticsShape(t *testing.T) {
+	sem := Semantics()
+	if !sem.ByteStream {
+		t.Fatal("TCP must be a byte stream")
+	}
+	if sem.MaxSackBlocks != 3 {
+		t.Fatalf("SACK blocks = %d, want 3", sem.MaxSackBlocks)
+	}
+	if len(sem.Handshake) != 5 {
+		t.Fatalf("handshake steps = %d, want 5", len(sem.Handshake))
+	}
+	// Alternating C/S/C/S/C.
+	for i, st := range sem.Handshake {
+		if st.FromClient != (i%2 == 0) {
+			t.Fatalf("step %d direction wrong", i)
+		}
+	}
+}
+
+// requestAt runs a request/response exchange and returns when the client got
+// the full response.
+func requestAt(t *testing.T, opts Options, netCfg simnet.NetworkConfig, respBytes int64) time.Duration {
+	t.Helper()
+	sim := simnet.New(11)
+	net := transport.NewNetwork(sim, netCfg)
+	client, server := NewConnPair(net, opts)
+	var done time.Duration
+	server.OnStreamData = func(id int, total int64, fin bool) {
+		if fin {
+			server.WriteStream(id, respBytes, true)
+		}
+	}
+	client.OnStreamData = func(id int, total int64, fin bool) {
+		if fin {
+			done = sim.Now()
+		}
+	}
+	client.OnEstablished = func() { client.WriteStream(1, 300, true) }
+	client.Start()
+	server.Start()
+	sim.RunUntil(5 * time.Minute)
+	if done == 0 {
+		t.Fatal("request/response did not complete")
+	}
+	return done
+}
+
+func TestFirstByteAfterTwoRTT(t *testing.T) {
+	// TCP+TLS: request leaves at 2 RTT, response body arrives ~3 RTT.
+	done := requestAt(t, Stock(), simnet.DSL, 1000)
+	rtt := simnet.DSL.MinRTT
+	if done < 3*rtt {
+		t.Fatalf("response before 3 RTT is impossible for 2-RTT TCP/TLS: %v", done)
+	}
+	if done > 3*rtt+30*time.Millisecond {
+		t.Fatalf("response too late: %v (want ~%v)", done, 3*rtt)
+	}
+}
+
+func TestTunedFasterThanStockOnLargeResponse(t *testing.T) {
+	// IW32 should beat IW10 for a response of several windows on LTE.
+	stock := requestAt(t, Stock(), simnet.LTE, 120_000)
+	tuned := requestAt(t, Tuned(97_125), simnet.LTE, 120_000)
+	if tuned >= stock {
+		t.Fatalf("TCP+ (%v) should beat stock TCP (%v) on LTE", tuned, stock)
+	}
+}
+
+func TestStockCompletesOnAllNetworks(t *testing.T) {
+	for _, n := range simnet.Networks() {
+		if d := requestAt(t, Stock(), n, 50_000); d <= 0 {
+			t.Fatalf("%s: no completion", n.Name)
+		}
+	}
+}
+
+func TestBBRCompletesOnLossyNetwork(t *testing.T) {
+	d := requestAt(t, TunedBBR(44_000), simnet.MSS, 200_000)
+	if d <= 0 {
+		t.Fatal("BBR transfer did not complete")
+	}
+}

@@ -1,0 +1,995 @@
+package transport
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/congestion"
+	"repro/internal/simnet"
+)
+
+// Role distinguishes the two halves of a connection.
+type Role int
+
+const (
+	RoleClient Role = iota
+	RoleServer
+)
+
+// HandshakeStep is one flight of the connection-establishment script.
+type HandshakeStep struct {
+	FromClient bool
+	Bytes      int
+}
+
+// Semantics captures the protocol-level differences between the TCP and
+// QUIC models. tcpsim and quicsim construct these; everything else in the
+// engine is shared.
+type Semantics struct {
+	// ByteStream selects TCP delivery: one in-order connection byte stream
+	// (a hole blocks all streams behind it) with cumulative ACK + up to
+	// MaxSackBlocks SACK ranges. When false, QUIC delivery: per-stream
+	// reassembly and packet-number ack ranges.
+	ByteStream bool
+	// MaxSackBlocks caps SACK blocks per ACK in ByteStream mode (TCP: 3).
+	MaxSackBlocks int
+	// MaxAckRanges caps ack ranges in packet-number mode (QUIC: large).
+	MaxAckRanges int
+	// AckEvery acks every n-th data packet (delayed ack).
+	AckEvery int
+	// AckDelay bounds how long an ack may be withheld.
+	AckDelay time.Duration
+	// PacketOverhead is per-packet header bytes on the wire.
+	PacketOverhead int
+	// Handshake is the establishment script. An empty script means the
+	// connection is established immediately on Start (used in tests).
+	Handshake []HandshakeStep
+	// LossThresholdSegments: data is declared lost once this many segments
+	// (TCP) or packets (QUIC) beyond it are acknowledged.
+	LossThresholdSegments int
+}
+
+// Config parameterizes one connection half.
+type Config struct {
+	ConnID int
+	Role   Role
+	MSS    int
+	// CC is the congestion controller (required).
+	CC congestion.Controller
+	// Pacing enables the fq-style pacer fed by CC.PacingRate.
+	Pacing bool
+	// RecvBuf is the local receive buffer advertised to the peer.
+	RecvBuf int64
+	// Sem must be identical on both halves.
+	Sem Semantics
+}
+
+// ConnStats counts transport-level events for the analysis (the paper cites
+// retransmission counts when explaining the DA2GC inversion).
+type ConnStats struct {
+	PacketsSent     uint64
+	PacketsReceived uint64
+	AcksSent        uint64
+	Retransmissions uint64
+	RTOs            uint64
+	BytesSent       int64 // payload bytes sent (first transmissions)
+	BytesDelivered  int64 // payload bytes delivered in order to the app
+	EstablishedAt   time.Duration
+}
+
+type segMeta struct {
+	streamID int
+	len      int
+	fin      bool
+}
+
+type recvStream struct {
+	ranges      RangeSet
+	deliveredTo int64
+	finOff      int64 // -1 while unknown
+}
+
+// Conn is one half of a simulated reliable connection. Both halves run the
+// same engine; only Role and callbacks differ. All methods must be called
+// from simulator callbacks (single-threaded).
+type Conn struct {
+	sim *simnet.Simulator
+	cfg Config
+	out func(simnet.Frame)
+
+	// Callbacks (set before Start).
+	OnEstablished func()
+	// OnStreamData fires when the in-order delivered prefix of a stream
+	// grows; total is the new delivered byte count, fin reports stream end.
+	OnStreamData func(streamID int, total int64, fin bool)
+	// OnSendSpace fires (asynchronously, at most once per drain) when all
+	// queued data has been handed to the network — the backpressure signal
+	// the HTTP response scheduler uses to feed the next frame.
+	OnSendSpace func()
+
+	established  bool
+	hsNextIn     int // next handshake step index expected from the peer
+	hsSentLast   bool
+	hsRecvBytes  int
+	hsTimer      *simnet.Timer
+	hsRetries    int
+	hsLastSendAt time.Duration // for handshake RTT sampling
+
+	// Send state.
+	nextPN int64
+	queue  []chunk
+	// rexmitQ holds chunks awaiting retransmission, lowest sequence first —
+	// the SACK-scoreboard rule that the oldest hole is repaired first.
+	rexmitQ      []chunk
+	connSendOff  int64
+	sent         map[int64]*SentPacket
+	sentOrder    []int64
+	inFlight     int
+	delivered    int64
+	largestAcked int64
+	ackedBytes   RangeSet // ByteStream mode: peer-held byte ranges
+	peerRwnd     int64
+	pacer        *congestion.Pacer
+	rtt          RTTEstimator
+	rtoTimer     *simnet.Timer
+	// Recovery epoch: one congestion response per loss event. In byte-stream
+	// mode recovery ends when the cumulative ack passes the highest byte
+	// sent at detection time; in packet mode when largestAcked passes the
+	// highest PN sent. (RFC 6675 / QUIC recovery semantics.)
+	inRecovery     bool
+	recoverOff     int64
+	recoverPN      int64
+	highestSentOff int64
+	// tlpFired marks that the next timeout already spent its tail-loss
+	// probe; the one after is a full RTO. Reset by ack progress.
+	tlpFired      bool
+	lastSentAt    time.Duration
+	everSent      bool
+	sendPending   bool
+	drainSignaled bool
+
+	// Receive state.
+	rcvConn        RangeSet // ByteStream: received connection bytes
+	rcvSegs        map[int64]segMeta
+	rcvDeliveredTo int64
+	rcvPN          RangeSet // packet-number mode: received PNs
+	streams        map[int]*recvStream
+	ackPending     int
+	ackTimer       *simnet.Timer
+	lastArrival    int64 // connOff of the newest data (first SACK block)
+	sackRotate     int   // rotates the remaining SACK blocks across acks
+
+	// sendOffs tracks per-stream write offsets.
+	sendOffs map[int]int64
+
+	Stats ConnStats
+}
+
+// NewConn builds one connection half. out transmits frames toward the peer
+// (normally a simnet link Send).
+func NewConn(sim *simnet.Simulator, cfg Config, out func(simnet.Frame)) *Conn {
+	if cfg.CC == nil {
+		panic("transport: Config.CC is required")
+	}
+	if cfg.MSS <= 0 {
+		cfg.MSS = congestion.DefaultMSS
+	}
+	if cfg.Sem.AckEvery <= 0 {
+		cfg.Sem.AckEvery = 2
+	}
+	if cfg.Sem.LossThresholdSegments <= 0 {
+		cfg.Sem.LossThresholdSegments = 3
+	}
+	if cfg.Sem.PacketOverhead <= 0 {
+		cfg.Sem.PacketOverhead = 40
+	}
+	if cfg.RecvBuf <= 0 {
+		cfg.RecvBuf = 1 << 20
+	}
+	c := &Conn{
+		sim:          sim,
+		cfg:          cfg,
+		out:          out,
+		sent:         make(map[int64]*SentPacket),
+		rcvSegs:      make(map[int64]segMeta),
+		streams:      make(map[int]*recvStream),
+		peerRwnd:     1 << 20, // replaced by SetPeerRecvBuf / ack advertisements
+		largestAcked: -1,
+	}
+	if cfg.Pacing {
+		c.pacer = congestion.NewPacer(cfg.MSS)
+	}
+	return c
+}
+
+// SetPeerRecvBuf seeds the flow-control limit before the first ack arrives.
+func (c *Conn) SetPeerRecvBuf(n int64) {
+	if n > 0 {
+		c.peerRwnd = n
+	}
+}
+
+// Established reports whether the handshake has completed on this side.
+func (c *Conn) Established() bool { return c.established }
+
+// SRTT exposes the smoothed RTT estimate.
+func (c *Conn) SRTT() time.Duration { return c.rtt.SRTT() }
+
+// QueuedBytes returns payload bytes accepted by WriteStream but not yet
+// acknowledged as sent (queued for first transmission or retransmission).
+func (c *Conn) QueuedBytes() int64 {
+	var n int64
+	for _, ch := range c.queue {
+		n += int64(ch.len)
+	}
+	return n
+}
+
+// lastOutStep returns the index of the last script step this side sends, or
+// -1 if it sends none.
+func (c *Conn) lastOutStep() int {
+	last := -1
+	for i, st := range c.cfg.Sem.Handshake {
+		if st.FromClient == (c.cfg.Role == RoleClient) {
+			last = i
+		}
+	}
+	return last
+}
+
+// lastInStep returns the index of the last script step directed at this
+// side, or -1.
+func (c *Conn) lastInStep() int {
+	last := -1
+	for i, st := range c.cfg.Sem.Handshake {
+		if st.FromClient != (c.cfg.Role == RoleClient) {
+			last = i
+		}
+	}
+	return last
+}
+
+// Start begins the connection. The client transmits the first handshake
+// flight; the server arms nothing and waits. With an empty script both sides
+// establish immediately.
+func (c *Conn) Start() {
+	if len(c.cfg.Sem.Handshake) == 0 {
+		c.establish()
+		return
+	}
+	if c.cfg.Role == RoleClient && c.cfg.Sem.Handshake[0].FromClient {
+		c.sendHandshakeStep(0)
+		c.hsNextIn = 1 // we never receive our own flight
+	}
+	c.maybeEstablish()
+}
+
+func (c *Conn) maybeEstablish() {
+	if c.established {
+		return
+	}
+	outDone := c.lastOutStep() == -1 || c.hsSentLast
+	inDone := c.lastInStep() == -1 || c.hsNextIn > c.lastInStep()
+	if outDone && inDone {
+		c.establish()
+	}
+}
+
+func (c *Conn) establish() {
+	if c.established {
+		return
+	}
+	c.established = true
+	c.Stats.EstablishedAt = c.sim.Now()
+	if c.hsTimer != nil {
+		c.hsTimer.Cancel()
+	}
+	if c.OnEstablished != nil {
+		c.OnEstablished()
+	}
+	c.trySend()
+}
+
+// sendHandshakeStep transmits (or retransmits) one script flight, split at
+// MSS, and arms a retransmission timer.
+func (c *Conn) sendHandshakeStep(i int) {
+	step := c.cfg.Sem.Handshake[i]
+	remaining := step.Bytes
+	for remaining > 0 {
+		n := remaining
+		if n > c.cfg.MSS {
+			n = c.cfg.MSS
+		}
+		remaining -= n
+		pkt := &Packet{
+			ConnID:        c.cfg.ConnID,
+			Kind:          KindHandshake,
+			PN:            -1,
+			HandshakeStep: i,
+			PayloadLen:    n,
+			HandshakeLast: remaining == 0,
+		}
+		c.Stats.PacketsSent++
+		c.out(simnet.Frame{Size: n + c.cfg.Sem.PacketOverhead, Payload: pkt})
+	}
+	if i == c.lastOutStep() {
+		c.hsSentLast = true
+	}
+	c.hsLastSendAt = c.sim.Now()
+	if c.hsTimer != nil {
+		c.hsTimer.Cancel()
+	}
+	// SYN-style retransmission: 1 s initial, doubling.
+	delay := time.Second << uint(c.hsRetries)
+	if delay > 32*time.Second {
+		delay = 32 * time.Second
+	}
+	step2 := i
+	c.hsTimer = c.sim.Schedule(delay, func() {
+		if c.established && c.hsNextIn > c.lastInStep() {
+			return
+		}
+		c.hsRetries++
+		c.sendHandshakeStep(step2)
+	})
+}
+
+func (c *Conn) receiveHandshake(p *Packet) {
+	if p.HandshakeStep < c.hsNextIn {
+		// Duplicate of a step we already consumed: our reply was probably
+		// lost. Resend the step that follows it, if it is ours.
+		next := p.HandshakeStep + 1
+		if next < len(c.cfg.Sem.Handshake) &&
+			c.cfg.Sem.Handshake[next].FromClient == (c.cfg.Role == RoleClient) {
+			c.sendHandshakeStep(next)
+		}
+		return
+	}
+	if p.HandshakeStep > c.hsNextIn {
+		// A later step implies earlier ones succeeded (cannot normally
+		// happen with a ping-pong script, but be tolerant).
+		c.hsNextIn = p.HandshakeStep
+		c.hsRecvBytes = 0
+	}
+	c.hsRecvBytes += p.PayloadLen
+	step := c.cfg.Sem.Handshake[c.hsNextIn]
+	if !p.HandshakeLast && c.hsRecvBytes < step.Bytes {
+		return
+	}
+	// Step complete. A completed reply to a flight we sent yields an RTT
+	// sample, like TCP's SYN/SYN-ACK and TLS measurements — this is what
+	// lets the pacer shape the very first data flight.
+	if c.hsLastSendAt > 0 && c.hsRetries == 0 {
+		sample := c.sim.Now() - c.hsLastSendAt
+		c.rtt.AddSample(sample)
+		// The controller needs the sample too (pacing rate = f(cwnd, srtt)).
+		c.cfg.CC.OnAck(c.sim.Now(), 0, sample, 0, c.inFlight)
+		c.hsLastSendAt = 0
+	}
+	c.hsNextIn++
+	c.hsRecvBytes = 0
+	c.hsRetries = 0
+	if c.hsTimer != nil {
+		c.hsTimer.Cancel()
+	}
+	if c.hsNextIn < len(c.cfg.Sem.Handshake) {
+		next := c.cfg.Sem.Handshake[c.hsNextIn]
+		if next.FromClient == (c.cfg.Role == RoleClient) {
+			c.sendHandshakeStep(c.hsNextIn)
+			c.hsNextIn++ // we do not receive our own step
+		}
+	}
+	c.maybeEstablish()
+}
+
+// WriteStream queues n payload bytes on the given stream; fin marks the end
+// of the stream. Data is transmitted once the connection is established,
+// subject to congestion and flow control.
+func (c *Conn) WriteStream(streamID int, n int64, fin bool) {
+	if n <= 0 {
+		panic(fmt.Sprintf("transport: non-positive write %d", n))
+	}
+	offBase := c.streamSendOff(streamID)
+	remaining := n
+	for remaining > 0 {
+		sz := int64(c.cfg.MSS)
+		if remaining < sz {
+			sz = remaining
+		}
+		ch := chunk{
+			streamID:  streamID,
+			streamOff: offBase + (n - remaining),
+			len:       int(sz),
+			fin:       fin && remaining == sz,
+			connOff:   -1,
+		}
+		if c.cfg.Sem.ByteStream {
+			ch.connOff = c.connSendOff
+			c.connSendOff += sz
+		}
+		c.queue = append(c.queue, ch)
+		remaining -= sz
+	}
+	c.drainSignaled = false // new data: the next drain may signal again
+	c.setStreamSendOff(streamID, offBase+n)
+	c.trySend()
+}
+
+// streamSendOff bookkeeping lives in a small map.
+func (c *Conn) streamSendOff(id int) int64 {
+	if c.sendOffs == nil {
+		return 0
+	}
+	return c.sendOffs[id]
+}
+
+func (c *Conn) setStreamSendOff(id int, v int64) {
+	if c.sendOffs == nil {
+		c.sendOffs = make(map[int]int64)
+	}
+	c.sendOffs[id] = v
+}
+
+// nextChunk peeks the next chunk to transmit: retransmissions first (lowest
+// sequence), then new data. Retransmission chunks whose bytes the peer has
+// meanwhile SACKed are discarded.
+func (c *Conn) nextChunk() (chunk, bool) {
+	for len(c.rexmitQ) > 0 {
+		ch := c.rexmitQ[0]
+		if c.cfg.Sem.ByteStream && c.ackedBytes.Contains(ch.connOff, ch.connOff+int64(ch.len)) {
+			c.rexmitQ = c.rexmitQ[1:]
+			continue
+		}
+		return ch, true
+	}
+	if len(c.queue) > 0 {
+		return c.queue[0], true
+	}
+	return chunk{}, false
+}
+
+func (c *Conn) popChunk() {
+	if len(c.rexmitQ) > 0 {
+		c.rexmitQ = c.rexmitQ[1:]
+		return
+	}
+	c.queue = c.queue[1:]
+}
+
+// trySend drains the queues while congestion, flow-control and pacing allow.
+func (c *Conn) trySend() {
+	if !c.established {
+		return
+	}
+	// Idle restart: Linux collapses cwnd to IW when the connection was
+	// quiet for an RTO (tcp_slow_start_after_idle); the controller decides
+	// whether to honor it.
+	if c.everSent && c.inFlight == 0 && (len(c.queue) > 0 || len(c.rexmitQ) > 0) &&
+		c.sim.Now()-c.lastSentAt > c.rtt.RTO() {
+		c.cfg.CC.OnIdleRestart(c.sim.Now())
+	}
+	for {
+		ch, ok := c.nextChunk()
+		if !ok {
+			if c.OnSendSpace != nil && !c.drainSignaled {
+				c.drainSignaled = true
+				c.sim.Schedule(0, func() {
+					if len(c.queue) == 0 && len(c.rexmitQ) == 0 {
+						c.OnSendSpace()
+					}
+				})
+			}
+			return
+		}
+		limit := int64(c.cfg.CC.CWND())
+		if c.peerRwnd < limit {
+			limit = c.peerRwnd
+		}
+		if int64(c.inFlight+ch.len) > limit && c.inFlight > 0 {
+			return // window full; acks will restart us
+		}
+		wire := ch.len + c.cfg.Sem.PacketOverhead
+		if c.pacer != nil {
+			rate := c.cfg.CC.PacingRate()
+			if d := c.pacer.NextSendDelay(c.sim.Now(), wire, rate); d > 0 {
+				if !c.sendPending {
+					c.sendPending = true
+					c.sim.Schedule(d, func() {
+						c.sendPending = false
+						c.trySend()
+					})
+				}
+				return
+			}
+		}
+		c.popChunk()
+		c.sendChunk(ch)
+	}
+}
+
+func (c *Conn) sendChunk(ch chunk) {
+	pn := c.nextPN
+	c.nextPN++
+	pkt := &Packet{
+		ConnID:     c.cfg.ConnID,
+		Kind:       KindData,
+		PN:         pn,
+		StreamID:   ch.streamID,
+		StreamOff:  ch.streamOff,
+		PayloadLen: ch.len,
+		Fin:        ch.fin,
+		ConnOff:    ch.connOff,
+		Rexmit:     ch.rexmit,
+	}
+	wire := ch.len + c.cfg.Sem.PacketOverhead
+	sp := &SentPacket{
+		PN:              pn,
+		Size:            wire,
+		SentAt:          int64(c.sim.Now()),
+		HasData:         true,
+		Chunk:           ch,
+		DeliveredAtSend: c.delivered,
+	}
+	c.sent[pn] = sp
+	c.sentOrder = append(c.sentOrder, pn)
+	c.inFlight += ch.len
+	if end := ch.connOff + int64(ch.len); end > c.highestSentOff {
+		c.highestSentOff = end
+	}
+	if !ch.rexmit {
+		c.Stats.BytesSent += int64(ch.len)
+	} else {
+		c.Stats.Retransmissions++
+	}
+	c.Stats.PacketsSent++
+	c.cfg.CC.OnPacketSent(c.sim.Now(), c.inFlight, ch.len)
+	if c.pacer != nil {
+		c.pacer.OnSent(c.sim.Now(), wire, c.cfg.CC.PacingRate())
+	}
+	c.lastSentAt = c.sim.Now()
+	c.everSent = true
+	c.armRTO()
+	c.out(simnet.Frame{Size: wire, Payload: pkt})
+}
+
+func (c *Conn) armRTO() {
+	if c.rtoTimer != nil {
+		c.rtoTimer.Cancel()
+	}
+	deadline := c.rtt.RTO()
+	// Before the probe is spent, fire earlier (2*srtt + delayed-ack slack),
+	// the RACK/TLP tail-repair schedule.
+	if !c.tlpFired && c.rtt.HasSample() {
+		if tlp := 2*c.rtt.SRTT() + 50*time.Millisecond; tlp < deadline {
+			deadline = tlp
+		}
+	}
+	c.rtoTimer = c.sim.Schedule(deadline, c.onRTO)
+}
+
+func (c *Conn) onRTO() {
+	if c.inFlight == 0 {
+		return
+	}
+	if !c.tlpFired && c.rtt.HasSample() {
+		// Tail loss probe: re-send the newest outstanding chunk without
+		// collapsing the window. Its (s)ack restarts normal loss detection
+		// for the rest of the tail.
+		c.tlpFired = true
+		for i := len(c.sentOrder) - 1; i >= 0; i-- {
+			sp := c.sent[c.sentOrder[i]]
+			if sp == nil || sp.Acked || sp.Lost || !sp.HasData {
+				continue
+			}
+			sp.Lost = true
+			c.inFlight -= sp.Chunk.len
+			if c.inFlight < 0 {
+				c.inFlight = 0
+			}
+			c.enqueueRexmit(sp.Chunk)
+			break
+		}
+		c.compactSent()
+		c.armRTO()
+		c.trySend()
+		return
+	}
+	c.Stats.RTOs++
+	c.rtt.Backoff++
+	c.cfg.CC.OnRTO(c.sim.Now())
+	// Re-queue every outstanding chunk, oldest first, ahead of new data.
+	for _, pn := range c.sentOrder {
+		sp := c.sent[pn]
+		if sp == nil || sp.Acked || sp.Lost || !sp.HasData {
+			continue
+		}
+		sp.Lost = true
+		c.enqueueRexmit(sp.Chunk)
+	}
+	c.inFlight = 0
+	c.compactSent()
+	c.armRTO()
+	c.trySend()
+}
+
+// enqueueRexmit inserts a chunk into the retransmission queue in sequence
+// order, dropping duplicates and (in byte-stream mode) data the peer has
+// already SACKed.
+func (c *Conn) enqueueRexmit(ch chunk) {
+	ch.rexmit = true
+	if c.cfg.Sem.ByteStream && c.ackedBytes.Contains(ch.connOff, ch.connOff+int64(ch.len)) {
+		return
+	}
+	key := func(x chunk) int64 {
+		if c.cfg.Sem.ByteStream {
+			return x.connOff
+		}
+		return int64(x.streamID)<<40 | x.streamOff
+	}
+	k := key(ch)
+	pos := len(c.rexmitQ)
+	for i, q := range c.rexmitQ {
+		kq := key(q)
+		if kq == k {
+			return // already queued
+		}
+		if kq > k {
+			pos = i
+			break
+		}
+	}
+	c.rexmitQ = append(c.rexmitQ, chunk{})
+	copy(c.rexmitQ[pos+1:], c.rexmitQ[pos:])
+	c.rexmitQ[pos] = ch
+}
+
+// compactSent drops acked/lost entries from the ordered scan list.
+func (c *Conn) compactSent() {
+	live := c.sentOrder[:0]
+	for _, pn := range c.sentOrder {
+		sp := c.sent[pn]
+		if sp == nil || sp.Acked || sp.Lost {
+			delete(c.sent, pn)
+			continue
+		}
+		live = append(live, pn)
+	}
+	c.sentOrder = live
+}
+
+// Receive dispatches a packet arriving from the peer. Wire it to the simnet
+// delivery callback.
+func (c *Conn) Receive(p *Packet) {
+	c.Stats.PacketsReceived++
+	switch p.Kind {
+	case KindHandshake:
+		c.receiveHandshake(p)
+	case KindData:
+		// Data implies the peer finished its handshake; if ours is still
+		// pending (a final flight was lost), force-complete it.
+		if !c.established {
+			c.hsNextIn = len(c.cfg.Sem.Handshake)
+			c.hsSentLast = true
+			c.maybeEstablish()
+		}
+		c.receiveData(p)
+	case KindAck:
+		c.receiveAck(p)
+	}
+}
+
+func (c *Conn) receiveData(p *Packet) {
+	outOfOrder := false
+	if c.cfg.Sem.ByteStream {
+		if p.ConnOff > c.rcvConn.CumulativeFrom(0) {
+			outOfOrder = true
+		}
+		c.rcvConn.Add(p.ConnOff, p.ConnOff+int64(p.PayloadLen))
+		c.lastArrival = p.ConnOff
+		if p.ConnOff >= c.rcvDeliveredTo {
+			c.rcvSegs[p.ConnOff] = segMeta{streamID: p.StreamID, len: p.PayloadLen, fin: p.Fin}
+		}
+		for {
+			meta, ok := c.rcvSegs[c.rcvDeliveredTo]
+			if !ok {
+				break
+			}
+			delete(c.rcvSegs, c.rcvDeliveredTo)
+			c.rcvDeliveredTo += int64(meta.len)
+			c.deliverToStream(meta.streamID, int64(meta.len), meta.fin)
+		}
+	} else {
+		if p.PN > c.rcvPN.CumulativeFrom(0) {
+			outOfOrder = true
+		}
+		c.rcvPN.Add(p.PN, p.PN+1)
+		st := c.stream(p.StreamID)
+		st.ranges.Add(p.StreamOff, p.StreamOff+int64(p.PayloadLen))
+		if p.Fin {
+			st.finOff = p.StreamOff + int64(p.PayloadLen)
+		}
+		newTo := st.ranges.CumulativeFrom(st.deliveredTo)
+		if newTo > st.deliveredTo {
+			adv := newTo - st.deliveredTo
+			st.deliveredTo = newTo
+			c.Stats.BytesDelivered += adv
+			if c.OnStreamData != nil {
+				c.OnStreamData(p.StreamID, newTo, st.finOff >= 0 && newTo >= st.finOff)
+			}
+		}
+	}
+	c.ackPending++
+	if c.ackPending >= c.cfg.Sem.AckEvery || outOfOrder {
+		c.sendAck()
+	} else if c.ackTimer == nil || !c.ackTimer.Active() {
+		c.ackTimer = c.sim.Schedule(c.cfg.Sem.AckDelay, c.sendAck)
+	}
+}
+
+func (c *Conn) stream(id int) *recvStream {
+	st := c.streams[id]
+	if st == nil {
+		st = &recvStream{finOff: -1}
+		c.streams[id] = st
+	}
+	return st
+}
+
+func (c *Conn) deliverToStream(streamID int, n int64, fin bool) {
+	st := c.stream(streamID)
+	st.deliveredTo += n
+	if fin {
+		st.finOff = st.deliveredTo
+	}
+	c.Stats.BytesDelivered += n
+	if c.OnStreamData != nil {
+		c.OnStreamData(streamID, st.deliveredTo, fin)
+	}
+}
+
+// rcvWindow computes the advertised flow-control window: buffer minus bytes
+// held in reassembly (received but not yet deliverable in order).
+func (c *Conn) rcvWindow() int64 {
+	var held int64
+	if c.cfg.Sem.ByteStream {
+		held = c.rcvConn.Covered() - c.rcvDeliveredTo
+	} else {
+		for _, st := range c.streams {
+			held += st.ranges.Covered() - st.deliveredTo
+		}
+	}
+	w := c.cfg.RecvBuf - held
+	if w < int64(c.cfg.MSS) {
+		w = int64(c.cfg.MSS)
+	}
+	return w
+}
+
+func (c *Conn) sendAck() {
+	if c.ackTimer != nil {
+		c.ackTimer.Cancel()
+	}
+	c.ackPending = 0
+	ai := &AckInfo{CumAck: -1, RcvWindow: c.rcvWindow()}
+	if c.cfg.Sem.ByteStream {
+		ai.CumAck = c.rcvConn.CumulativeFrom(0)
+		ai.Ranges = c.sackBlocks(ai.CumAck)
+	} else {
+		max := c.cfg.Sem.MaxAckRanges
+		if max <= 0 {
+			max = 256
+		}
+		ai.Ranges = c.rcvPN.Above(0, max)
+	}
+	pkt := &Packet{ConnID: c.cfg.ConnID, Kind: KindAck, PN: -1, Ack: ai}
+	size := c.cfg.Sem.PacketOverhead + 12 + 8*len(ai.Ranges)
+	c.Stats.AcksSent++
+	c.Stats.PacketsSent++
+	c.out(simnet.Frame{Size: size, Payload: pkt})
+}
+
+// sackBlocks emulates RFC 2018 SACK generation: the first block is the
+// range containing the most recently arrived segment, and the remaining
+// (at most MaxSackBlocks-1) slots rotate through the other out-of-order
+// ranges on successive acks, so the sender accumulates the full picture
+// over a few acks despite the 3-block option-space limit.
+func (c *Conn) sackBlocks(cum int64) []Range {
+	max := c.cfg.Sem.MaxSackBlocks
+	if max <= 0 {
+		return nil
+	}
+	all := c.rcvConn.Above(cum, 0) // highest-first
+	if len(all) == 0 {
+		return nil
+	}
+	var blocks []Range
+	// First block: the range holding the newest arrival, if out-of-order.
+	for _, r := range all {
+		if r.Start <= c.lastArrival && c.lastArrival < r.End {
+			blocks = append(blocks, r)
+			break
+		}
+	}
+	for i := 0; len(blocks) < max && i < len(all); i++ {
+		r := all[(i+c.sackRotate)%len(all)]
+		dup := false
+		for _, b := range blocks {
+			if b == r {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			blocks = append(blocks, r)
+		}
+	}
+	c.sackRotate++
+	return blocks
+}
+
+func (c *Conn) receiveAck(p *Packet) {
+	ai := p.Ack
+	if ai == nil {
+		return
+	}
+	if ai.RcvWindow > 0 {
+		c.peerRwnd = ai.RcvWindow
+	}
+	now := c.sim.Now()
+
+	if c.cfg.Sem.ByteStream {
+		if ai.CumAck > 0 {
+			c.ackedBytes.Add(0, ai.CumAck)
+		}
+		for _, r := range ai.Ranges {
+			c.ackedBytes.Add(r.Start, r.End)
+		}
+	}
+
+	var newlyAcked []*SentPacket
+	for _, pn := range c.sentOrder {
+		sp := c.sent[pn]
+		if sp == nil || sp.Acked || sp.Lost {
+			continue
+		}
+		if !sp.HasData {
+			continue
+		}
+		acked := false
+		if c.cfg.Sem.ByteStream {
+			start := sp.Chunk.connOff
+			acked = c.ackedBytes.Contains(start, start+int64(sp.Chunk.len))
+		} else {
+			for _, r := range ai.Ranges {
+				if r.Start <= sp.PN && sp.PN < r.End {
+					acked = true
+					break
+				}
+			}
+		}
+		if acked {
+			sp.Acked = true
+			newlyAcked = append(newlyAcked, sp)
+		}
+	}
+
+	for _, sp := range newlyAcked {
+		c.inFlight -= sp.Chunk.len
+		if c.inFlight < 0 {
+			c.inFlight = 0
+		}
+		c.delivered += int64(sp.Chunk.len)
+		if sp.PN > c.largestAcked {
+			c.largestAcked = sp.PN
+			if !sp.Chunk.rexmit {
+				c.rtt.AddSample(now - time.Duration(sp.SentAt))
+			}
+		}
+		var bw float64
+		if dt := now - time.Duration(sp.SentAt); dt > 0 {
+			bw = float64(c.delivered-sp.DeliveredAtSend) / dt.Seconds()
+		}
+		// Loss-based controllers freeze during recovery (no growth from
+		// acks of pre-loss data); model-based ones keep sampling.
+		if !c.inRecovery || !c.cfg.CC.LossBased() {
+			c.cfg.CC.OnAck(now, sp.Chunk.len, c.rtt.Latest(), bw, c.inFlight)
+		}
+	}
+
+	c.updateRecovery(ai.CumAck)
+	c.detectLosses()
+	c.compactSent()
+
+	if len(newlyAcked) > 0 {
+		c.tlpFired = false
+		if c.inFlight > 0 {
+			c.armRTO()
+		} else if c.rtoTimer != nil {
+			c.rtoTimer.Cancel()
+		}
+	}
+	c.trySend()
+}
+
+// detectLosses applies the segment/packet-threshold rule plus a RACK-style
+// time threshold, re-queues lost data ahead of new data, and signals the
+// controller at most once per recovery epoch.
+func (c *Conn) detectLosses() {
+	now := c.sim.Now()
+	thresholdBytes := int64(c.cfg.Sem.LossThresholdSegments * c.cfg.MSS)
+	var highestSacked int64 = -1
+	if c.cfg.Sem.ByteStream {
+		rs := c.ackedBytes.Ranges()
+		if len(rs) > 0 {
+			highestSacked = rs[len(rs)-1].End
+		}
+	}
+	timeThresh := c.rtt.SRTT() * 5 / 4
+	if timeThresh == 0 {
+		timeThresh = 250 * time.Millisecond
+	}
+
+	var lost []*SentPacket
+	for _, pn := range c.sentOrder {
+		sp := c.sent[pn]
+		if sp == nil || sp.Acked || sp.Lost || !sp.HasData {
+			continue
+		}
+		isLost := false
+		if c.cfg.Sem.ByteStream {
+			// The SACK-threshold rule applies to first transmissions only:
+			// for a retransmission, data above it being SACKed says nothing
+			// about the retransmission itself (RFC 6675 keeps separate
+			// retransmission state; without this guard every repair would
+			// be re-declared lost by the very next ack).
+			if !sp.Chunk.rexmit && highestSacked >= 0 &&
+				sp.Chunk.connOff+int64(sp.Chunk.len)+thresholdBytes <= highestSacked {
+				isLost = true
+			}
+		} else {
+			if c.largestAcked >= sp.PN+int64(c.cfg.Sem.LossThresholdSegments) {
+				isLost = true
+			}
+		}
+		// Time threshold applies only when something newer was acked.
+		if !isLost && c.largestAcked > sp.PN &&
+			now-time.Duration(sp.SentAt) > timeThresh && c.rtt.HasSample() {
+			isLost = true
+		}
+		if isLost {
+			sp.Lost = true
+			lost = append(lost, sp)
+		}
+	}
+	if len(lost) == 0 {
+		return
+	}
+	for _, sp := range lost {
+		c.inFlight -= sp.Chunk.len
+		if c.inFlight < 0 {
+			c.inFlight = 0
+		}
+		c.enqueueRexmit(sp.Chunk)
+	}
+	if !c.inRecovery {
+		c.cfg.CC.OnLoss(now, lost[0].Chunk.len, c.inFlight)
+		c.inRecovery = true
+		c.recoverOff = c.highestSentOff
+		c.recoverPN = c.nextPN
+	}
+}
+
+// updateRecovery ends the recovery epoch once the loss event's data has been
+// repaired (cumulative progress past the epoch marker).
+func (c *Conn) updateRecovery(cumAck int64) {
+	if !c.inRecovery {
+		return
+	}
+	if c.cfg.Sem.ByteStream {
+		if cumAck >= c.recoverOff {
+			c.inRecovery = false
+		}
+	} else if c.largestAcked >= c.recoverPN {
+		c.inRecovery = false
+	}
+}

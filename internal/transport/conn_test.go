@@ -1,0 +1,417 @@
+package transport
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/congestion"
+	"repro/internal/simnet"
+)
+
+// testSemantics returns TCP-like or QUIC-like semantics with a trivial or
+// scripted handshake.
+func tcpLikeSem(handshake bool) Semantics {
+	s := Semantics{
+		ByteStream:            true,
+		MaxSackBlocks:         3,
+		AckEvery:              2,
+		AckDelay:              40 * time.Millisecond,
+		PacketOverhead:        40,
+		LossThresholdSegments: 3,
+	}
+	if handshake {
+		s.Handshake = []HandshakeStep{
+			{FromClient: true, Bytes: 60},
+			{FromClient: false, Bytes: 60},
+			{FromClient: true, Bytes: 350},
+			{FromClient: false, Bytes: 2900},
+			{FromClient: true, Bytes: 80},
+		}
+	}
+	return s
+}
+
+func quicLikeSem(handshake bool) Semantics {
+	s := Semantics{
+		ByteStream:            false,
+		MaxAckRanges:          256,
+		AckEvery:              2,
+		AckDelay:              25 * time.Millisecond,
+		PacketOverhead:        37,
+		LossThresholdSegments: 3,
+	}
+	if handshake {
+		s.Handshake = []HandshakeStep{
+			{FromClient: true, Bytes: 1200},
+			{FromClient: false, Bytes: 900},
+		}
+	}
+	return s
+}
+
+func newCC() congestion.Controller {
+	return congestion.NewCubic(congestion.Config{InitialWindowSegments: 10, MSS: congestion.DefaultMSS})
+}
+
+type pairEnv struct {
+	sim    *simnet.Simulator
+	net    *Network
+	client *Conn
+	server *Conn
+}
+
+func newPair(t *testing.T, netCfg simnet.NetworkConfig, sem Semantics, seed int64) *pairEnv {
+	t.Helper()
+	sim := simnet.New(seed)
+	n := NewNetwork(sim, netCfg)
+	ccfg := Config{MSS: congestion.DefaultMSS, CC: newCC(), RecvBuf: 1 << 22, Sem: sem}
+	scfg := Config{MSS: congestion.DefaultMSS, CC: newCC(), RecvBuf: 1 << 22, Sem: sem}
+	c, s := n.NewConnPair(ccfg, scfg)
+	return &pairEnv{sim: sim, net: n, client: c, server: s}
+}
+
+func TestTransferSimpleByteStream(t *testing.T) {
+	env := newPair(t, simnet.DSL, tcpLikeSem(false), 1)
+	var got int64
+	var fin bool
+	env.client.OnStreamData = func(id int, total int64, f bool) {
+		if id == 1 {
+			got = total
+			fin = fin || f
+		}
+	}
+	env.client.Start()
+	env.server.Start()
+	env.server.WriteStream(1, 100_000, true)
+	env.sim.Run()
+	if got != 100_000 || !fin {
+		t.Fatalf("delivered %d fin=%v", got, fin)
+	}
+	if env.server.Stats.Retransmissions != 0 {
+		t.Fatalf("unexpected retransmissions on clean link: %d", env.server.Stats.Retransmissions)
+	}
+}
+
+func TestTransferSimplePerStream(t *testing.T) {
+	env := newPair(t, simnet.DSL, quicLikeSem(false), 1)
+	totals := map[int]int64{}
+	env.client.OnStreamData = func(id int, total int64, f bool) { totals[id] = total }
+	env.client.Start()
+	env.server.Start()
+	env.server.WriteStream(1, 50_000, true)
+	env.server.WriteStream(2, 70_000, true)
+	env.sim.Run()
+	if totals[1] != 50_000 || totals[2] != 70_000 {
+		t.Fatalf("totals = %v", totals)
+	}
+}
+
+func TestHandshakeTCPTwoRTT(t *testing.T) {
+	env := newPair(t, simnet.DSL, tcpLikeSem(true), 1)
+	var clientAt, serverAt time.Duration
+	env.client.OnEstablished = func() { clientAt = env.sim.Now() }
+	env.server.OnEstablished = func() { serverAt = env.sim.Now() }
+	env.client.Start()
+	env.server.Start()
+	env.sim.Run()
+	rtt := simnet.DSL.MinRTT
+	// Client establishes after SYN/SYNACK + CH/ServerFlight: ~2 RTT.
+	if clientAt < 2*rtt || clientAt > 2*rtt+20*time.Millisecond {
+		t.Fatalf("client established at %v, want ~%v", clientAt, 2*rtt)
+	}
+	// Server establishes half an RTT later (on the client Fin).
+	if serverAt <= clientAt {
+		t.Fatalf("server (%v) should establish after client (%v)", serverAt, clientAt)
+	}
+}
+
+func TestHandshakeQUICOneRTT(t *testing.T) {
+	env := newPair(t, simnet.DSL, quicLikeSem(true), 1)
+	var clientAt time.Duration
+	env.client.OnEstablished = func() { clientAt = env.sim.Now() }
+	env.client.Start()
+	env.server.Start()
+	env.sim.Run()
+	rtt := simnet.DSL.MinRTT
+	if clientAt < rtt || clientAt > rtt+20*time.Millisecond {
+		t.Fatalf("client established at %v, want ~%v (1-RTT)", clientAt, rtt)
+	}
+}
+
+func TestHandshakeZeroRTTScript(t *testing.T) {
+	// A script with a single client flight models 0-RTT: the client is
+	// established immediately (it has nothing to receive).
+	sem := quicLikeSem(false)
+	sem.Handshake = []HandshakeStep{{FromClient: true, Bytes: 1200}}
+	env := newPair(t, simnet.DSL, sem, 1)
+	env.client.Start()
+	env.server.Start()
+	if !env.client.Established() {
+		t.Fatal("0-RTT client should be established at Start")
+	}
+	env.sim.Run()
+	if !env.server.Established() {
+		t.Fatal("server should establish on CHLO receipt")
+	}
+}
+
+func TestHandshakeSurvivesLoss(t *testing.T) {
+	// 30% loss: handshakes must still complete via retransmission.
+	cfg := simnet.DSL
+	cfg.LossRate = 0.30
+	for seed := int64(1); seed <= 5; seed++ {
+		env := newPair(t, cfg, tcpLikeSem(true), seed)
+		env.client.Start()
+		env.server.Start()
+		env.sim.RunUntil(3 * time.Minute)
+		if !env.client.Established() {
+			t.Fatalf("seed %d: client never established", seed)
+		}
+	}
+}
+
+func TestTransferDataAfterEstablish(t *testing.T) {
+	env := newPair(t, simnet.LTE, quicLikeSem(true), 2)
+	var done time.Duration
+	env.client.OnStreamData = func(id int, total int64, fin bool) {
+		if fin {
+			done = env.sim.Now()
+		}
+	}
+	env.client.Start()
+	env.server.Start()
+	// Data queued before establishment waits for the handshake.
+	env.server.WriteStream(1, 20_000, true)
+	env.sim.Run()
+	if done == 0 {
+		t.Fatal("transfer never completed")
+	}
+	if done < simnet.LTE.MinRTT {
+		t.Fatalf("data cannot arrive before a full RTT, got %v", done)
+	}
+}
+
+func TestTransferWithRandomLossCompletes(t *testing.T) {
+	cfg := simnet.DA2GC // 3.3% loss, slow symmetric link
+	for _, mk := range []struct {
+		name string
+		sem  Semantics
+	}{{"tcp", tcpLikeSem(true)}, {"quic", quicLikeSem(true)}} {
+		env := newPair(t, cfg, mk.sem, 3)
+		var got int64
+		var fin bool
+		env.client.OnStreamData = func(id int, total int64, f bool) {
+			got = total
+			fin = fin || f
+		}
+		env.client.Start()
+		env.server.Start()
+		env.server.WriteStream(1, 300_000, true)
+		env.sim.RunUntil(5 * time.Minute)
+		if got != 300_000 || !fin {
+			t.Fatalf("%s: delivered %d fin=%v (retx=%d rtos=%d)",
+				mk.name, got, fin, env.server.Stats.Retransmissions, env.server.Stats.RTOs)
+		}
+		if env.server.Stats.Retransmissions == 0 {
+			t.Fatalf("%s: expected retransmissions on a lossy link", mk.name)
+		}
+	}
+}
+
+func TestByteStreamHOLBlocking(t *testing.T) {
+	// Two streams multiplexed on a TCP-like connection: drop the very first
+	// data packet (stream 1). Stream 2 data behind it must NOT be delivered
+	// until the retransmission fills the hole — cross-stream HOL blocking.
+	env := newPair(t, simnet.DSL, tcpLikeSem(false), 1)
+
+	var deliveries []int
+	env.client.OnStreamData = func(id int, total int64, fin bool) {
+		deliveries = append(deliveries, id)
+	}
+	// Intercept the first data frame on the downlink and drop it.
+	dropped := false
+	orig := env.net.Path.Down.Deliver
+	env.net.Path.Down.Deliver = func(f simnet.Frame) {
+		if pkt, ok := f.Payload.(*Packet); ok && pkt.Kind == KindData && !dropped {
+			dropped = true
+			return
+		}
+		orig(f)
+	}
+	env.client.Start()
+	env.server.Start()
+	env.server.WriteStream(1, 1460, true)
+	env.server.WriteStream(2, 1460, true)
+	env.sim.Run()
+	if !dropped {
+		t.Fatal("test setup: no data frame was dropped")
+	}
+	if len(deliveries) != 2 {
+		t.Fatalf("deliveries = %v", deliveries)
+	}
+	// Stream 1's retransmission must arrive before stream 2 unblocks.
+	if deliveries[0] != 1 || deliveries[1] != 2 {
+		t.Fatalf("HOL violated: delivery order %v, want [1 2]", deliveries)
+	}
+}
+
+func TestPerStreamNoHOLBlocking(t *testing.T) {
+	// Same scenario over QUIC-like semantics: stream 2 must be delivered
+	// while stream 1's loss is still outstanding.
+	env := newPair(t, simnet.DSL, quicLikeSem(false), 1)
+	var deliveries []int
+	env.client.OnStreamData = func(id int, total int64, fin bool) {
+		deliveries = append(deliveries, id)
+	}
+	dropped := false
+	orig := env.net.Path.Down.Deliver
+	env.net.Path.Down.Deliver = func(f simnet.Frame) {
+		if pkt, ok := f.Payload.(*Packet); ok && pkt.Kind == KindData && !dropped {
+			dropped = true
+			return
+		}
+		orig(f)
+	}
+	env.client.Start()
+	env.server.Start()
+	env.server.WriteStream(1, 1460, true)
+	env.server.WriteStream(2, 1460, true)
+	env.sim.Run()
+	if len(deliveries) != 2 {
+		t.Fatalf("deliveries = %v", deliveries)
+	}
+	if deliveries[0] != 2 {
+		t.Fatalf("QUIC should deliver stream 2 first (no HOL), got %v", deliveries)
+	}
+}
+
+func TestRTOFiresAndRecovers(t *testing.T) {
+	// Drop an entire window tail so only an RTO can recover.
+	cfg := simnet.DSL
+	env := newPair(t, cfg, tcpLikeSem(false), 1)
+	var fin bool
+	env.client.OnStreamData = func(id int, total int64, f bool) { fin = fin || f }
+	// Drop data frames 3..6 (the tail of the first flight) once.
+	seen := 0
+	orig := env.net.Path.Down.Deliver
+	env.net.Path.Down.Deliver = func(f simnet.Frame) {
+		if pkt, ok := f.Payload.(*Packet); ok && pkt.Kind == KindData {
+			seen++
+			if seen >= 4 && seen <= 7 {
+				return
+			}
+		}
+		orig(f)
+	}
+	env.client.Start()
+	env.server.Start()
+	env.server.WriteStream(1, 7*1460, true)
+	env.sim.RunUntil(time.Minute)
+	if !fin {
+		t.Fatalf("transfer stuck after tail loss (rtos=%d)", env.server.Stats.RTOs)
+	}
+}
+
+func TestRequestResponseBothDirections(t *testing.T) {
+	env := newPair(t, simnet.LTE, tcpLikeSem(true), 4)
+	var respDone bool
+	env.server.OnStreamData = func(id int, total int64, fin bool) {
+		if fin { // request fully received -> respond on same stream
+			env.server.WriteStream(id, 40_000, true)
+		}
+	}
+	env.client.OnStreamData = func(id int, total int64, fin bool) {
+		respDone = respDone || fin
+	}
+	env.client.OnEstablished = func() {
+		env.client.WriteStream(1, 400, true)
+	}
+	env.client.Start()
+	env.server.Start()
+	env.sim.Run()
+	if !respDone {
+		t.Fatal("request/response round trip failed")
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	env := newPair(t, simnet.DSL, tcpLikeSem(false), 1)
+	env.client.OnStreamData = func(int, int64, bool) {}
+	env.client.Start()
+	env.server.Start()
+	env.server.WriteStream(1, 50_000, true)
+	env.sim.Run()
+	if env.server.Stats.BytesSent != 50_000 {
+		t.Fatalf("BytesSent = %d", env.server.Stats.BytesSent)
+	}
+	if env.client.Stats.BytesDelivered != 50_000 {
+		t.Fatalf("BytesDelivered = %d", env.client.Stats.BytesDelivered)
+	}
+	if env.client.Stats.AcksSent == 0 {
+		t.Fatal("client should have sent acks")
+	}
+}
+
+func TestWriteStreamPanicsOnNonPositive(t *testing.T) {
+	env := newPair(t, simnet.DSL, tcpLikeSem(false), 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	env.server.WriteStream(1, 0, true)
+}
+
+func TestThroughputApproachesLinkRate(t *testing.T) {
+	// A 2 MB transfer on DSL (25 Mbps down) should finish in roughly
+	// size/rate plus slow-start; sanity bound: between the ideal time and
+	// 3x the ideal time.
+	env := newPair(t, simnet.DSL, tcpLikeSem(false), 5)
+	var done time.Duration
+	env.client.OnStreamData = func(id int, total int64, fin bool) {
+		if fin {
+			done = env.sim.Now()
+		}
+	}
+	env.client.Start()
+	env.server.Start()
+	const size = 2 << 20
+	env.server.WriteStream(1, size, true)
+	env.sim.RunUntil(2 * time.Minute)
+	if done == 0 {
+		t.Fatal("transfer incomplete")
+	}
+	ideal := time.Duration(float64(size*8) / 25e6 * float64(time.Second))
+	if done < ideal {
+		t.Fatalf("faster than the link allows: %v < %v", done, ideal)
+	}
+	if done > 3*ideal {
+		t.Fatalf("too slow: %v vs ideal %v", done, ideal)
+	}
+}
+
+func TestNetworkDispatchesMultipleConns(t *testing.T) {
+	sim := simnet.New(9)
+	n := NewNetwork(sim, simnet.DSL)
+	finCount := 0
+	for i := 0; i < 3; i++ {
+		cfg := Config{MSS: congestion.DefaultMSS, CC: newCC(), RecvBuf: 1 << 22, Sem: quicLikeSem(true)}
+		scfg := Config{MSS: congestion.DefaultMSS, CC: newCC(), RecvBuf: 1 << 22, Sem: quicLikeSem(true)}
+		c, s := n.NewConnPair(cfg, scfg)
+		c.OnStreamData = func(id int, total int64, fin bool) {
+			if fin {
+				finCount++
+			}
+		}
+		c.Start()
+		s.Start()
+		s.WriteStream(1, 30_000, true)
+	}
+	if n.Conns() != 3 {
+		t.Fatalf("conns = %d", n.Conns())
+	}
+	sim.Run()
+	if finCount != 3 {
+		t.Fatalf("finCount = %d", finCount)
+	}
+}

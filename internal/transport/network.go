@@ -1,0 +1,66 @@
+package transport
+
+import (
+	"repro/internal/simnet"
+)
+
+// Network multiplexes many connections over one duplex simnet.Path — the
+// shape of the paper's testbed, where all of a website's servers sit behind
+// the client's single emulated access link, so connections to different
+// hosts share (and compete for) the same bottleneck.
+type Network struct {
+	Sim  *simnet.Simulator
+	Path *simnet.Path
+
+	clients map[int]*Conn
+	servers map[int]*Conn
+	nextID  int
+}
+
+// NewNetwork builds the shared path for the given Table 2 network
+// configuration.
+func NewNetwork(sim *simnet.Simulator, cfg simnet.NetworkConfig) *Network {
+	n := &Network{
+		Sim:     sim,
+		clients: make(map[int]*Conn),
+		servers: make(map[int]*Conn),
+	}
+	n.Path = simnet.NewPath(sim, cfg, n.deliverUp, n.deliverDown)
+	return n
+}
+
+func (n *Network) deliverUp(f simnet.Frame) {
+	pkt := f.Payload.(*Packet)
+	if c := n.servers[pkt.ConnID]; c != nil {
+		c.Receive(pkt)
+	}
+}
+
+func (n *Network) deliverDown(f simnet.Frame) {
+	pkt := f.Payload.(*Packet)
+	if c := n.clients[pkt.ConnID]; c != nil {
+		c.Receive(pkt)
+	}
+}
+
+// NewConnPair creates both halves of a connection attached to the shared
+// path. The ConnID fields of the configs are assigned by the network.
+func (n *Network) NewConnPair(clientCfg, serverCfg Config) (client, server *Conn) {
+	id := n.nextID
+	n.nextID++
+	clientCfg.ConnID = id
+	clientCfg.Role = RoleClient
+	serverCfg.ConnID = id
+	serverCfg.Role = RoleServer
+
+	client = NewConn(n.Sim, clientCfg, func(f simnet.Frame) { n.Path.Up.Send(f) })
+	server = NewConn(n.Sim, serverCfg, func(f simnet.Frame) { n.Path.Down.Send(f) })
+	client.SetPeerRecvBuf(serverCfg.RecvBuf)
+	server.SetPeerRecvBuf(clientCfg.RecvBuf)
+	n.clients[id] = client
+	n.servers[id] = server
+	return client, server
+}
+
+// Conns returns the number of connection pairs attached.
+func (n *Network) Conns() int { return len(n.clients) }

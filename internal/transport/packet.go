@@ -1,0 +1,113 @@
+package transport
+
+import "fmt"
+
+// PacketKind discriminates the simulated wire packets.
+type PacketKind int
+
+const (
+	// KindHandshake carries one step of the connection-establishment
+	// script (SYN/SYN-ACK/TLS flights for TCP, CHLO/SHLO for gQUIC).
+	KindHandshake PacketKind = iota
+	// KindData carries stream payload (and piggybacks nothing; acks are
+	// separate packets in this model).
+	KindData
+	// KindAck is a pure acknowledgment.
+	KindAck
+)
+
+func (k PacketKind) String() string {
+	switch k {
+	case KindHandshake:
+		return "handshake"
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	}
+	return "?"
+}
+
+// AckInfo is the acknowledgment block of an ack packet.
+type AckInfo struct {
+	// CumAck acknowledges all connection-stream bytes below it (TCP mode).
+	// Unused (-1) in packet-number mode.
+	CumAck int64
+	// Ranges are SACK blocks (TCP: connection-byte ranges, at most 3) or
+	// QUIC ack ranges (packet numbers, effectively unlimited).
+	Ranges []Range
+	// RcvWindow advertises the receiver's remaining buffer in bytes.
+	RcvWindow int64
+}
+
+// Packet is the unit exchanged over simnet between the two halves of a
+// connection. Payload bytes are represented by counts only — the testbed
+// measures timing, not content.
+type Packet struct {
+	ConnID int
+	Kind   PacketKind
+
+	// PN is the sender-assigned packet number (monotonic, never reused,
+	// QUIC-style). TCP loss detection runs on byte ranges instead, but PNs
+	// still key the sent-packet map.
+	PN int64
+
+	// Handshake fields.
+	HandshakeStep int
+	HandshakeLast bool // final fragment of the step
+
+	// Data fields.
+	StreamID   int
+	StreamOff  int64 // offset within the stream
+	PayloadLen int
+	Fin        bool  // last chunk of the stream
+	ConnOff    int64 // position in the connection byte stream; -1 in per-stream (QUIC) mode
+	Rexmit     bool  // retransmission (RTT samples from these are ambiguous)
+
+	Ack *AckInfo
+}
+
+func (p *Packet) String() string {
+	switch p.Kind {
+	case KindHandshake:
+		return fmt.Sprintf("hs{conn=%d step=%d pn=%d}", p.ConnID, p.HandshakeStep, p.PN)
+	case KindData:
+		return fmt.Sprintf("data{conn=%d pn=%d s=%d off=%d len=%d fin=%v}",
+			p.ConnID, p.PN, p.StreamID, p.StreamOff, p.PayloadLen, p.Fin)
+	default:
+		return fmt.Sprintf("ack{conn=%d cum=%d ranges=%d}", p.ConnID, p.Ack.CumAck, len(p.Ack.Ranges))
+	}
+}
+
+// chunk is a unit of queued, not-yet-transmitted (or queued-again for
+// retransmission) stream data.
+type chunk struct {
+	streamID  int
+	streamOff int64
+	len       int
+	fin       bool
+	connOff   int64 // -1 in per-stream mode
+	rexmit    bool
+}
+
+// SentPacket records an in-flight packet for loss detection, RTT sampling
+// and delivery-rate estimation.
+type SentPacket struct {
+	PN     int64
+	Size   int   // wire size including overhead
+	SentAt int64 // virtual ns
+
+	// Retransmittable payload descriptor (data packets only).
+	HasData bool
+	Chunk   chunk
+
+	Handshake     bool
+	HandshakeStep int
+
+	// DeliveredAtSend snapshots the sender's delivered-bytes counter for
+	// BBR-style bandwidth sampling.
+	DeliveredAtSend int64
+
+	Acked bool
+	Lost  bool
+}

@@ -1,0 +1,135 @@
+// Package transport provides the shared reliability machinery underneath
+// both protocol models: sequence-range bookkeeping, RTT estimation
+// (RFC 6298), sent-packet tracking with delivery-rate sampling, and a
+// generic reliable-transfer engine that tcpsim and quicsim specialize.
+//
+// The two specializations differ exactly where the paper says the protocols
+// differ (§4.3): TCP delivers one in-order byte stream (a loss blocks
+// everything behind it, across all HTTP/2 streams) and reports at most three
+// SACK blocks per ACK, while QUIC delivers each stream independently and
+// acknowledges arbitrarily many packet-number ranges.
+package transport
+
+import "fmt"
+
+// Range is a half-open interval [Start, End) of sequence space.
+type Range struct {
+	Start, End int64
+}
+
+// Len returns the number of units covered by the range.
+func (r Range) Len() int64 { return r.End - r.Start }
+
+// Contains reports whether the range covers [start, end).
+func (r Range) Contains(start, end int64) bool {
+	return r.Start <= start && end <= r.End
+}
+
+func (r Range) String() string { return fmt.Sprintf("[%d,%d)", r.Start, r.End) }
+
+// RangeSet maintains a sorted, merged set of half-open ranges. It backs both
+// receive reassembly (which bytes/packets have arrived) and the sender-side
+// SACK scoreboard.
+type RangeSet struct {
+	rs []Range
+}
+
+// Add inserts [start, end) and merges any overlapping or adjacent ranges.
+func (s *RangeSet) Add(start, end int64) {
+	if start >= end {
+		return
+	}
+	// Locate insertion window: all ranges overlapping or adjacent to
+	// [start, end) collapse into one.
+	out := s.rs[:0:0]
+	inserted := false
+	for _, r := range s.rs {
+		switch {
+		case r.End < start:
+			out = append(out, r)
+		case end < r.Start:
+			if !inserted {
+				out = append(out, Range{start, end})
+				inserted = true
+			}
+			out = append(out, r)
+		default:
+			// Overlap or adjacency: grow the pending range.
+			if r.Start < start {
+				start = r.Start
+			}
+			if r.End > end {
+				end = r.End
+			}
+		}
+	}
+	if !inserted {
+		out = append(out, Range{start, end})
+	}
+	s.rs = out
+}
+
+// Contains reports whether [start, end) is fully covered.
+func (s *RangeSet) Contains(start, end int64) bool {
+	for _, r := range s.rs {
+		if r.Contains(start, end) {
+			return true
+		}
+		if r.Start > start {
+			break
+		}
+	}
+	return false
+}
+
+// CumulativeFrom returns the end of the contiguous run starting at from, or
+// from itself when nothing at from has arrived. For a receive buffer this is
+// the next expected sequence number (the TCP cumulative ACK point).
+func (s *RangeSet) CumulativeFrom(from int64) int64 {
+	for _, r := range s.rs {
+		if r.Start <= from && from < r.End {
+			return r.End
+		}
+		if r.Start > from {
+			break
+		}
+	}
+	return from
+}
+
+// Ranges returns a copy of the merged ranges in ascending order.
+func (s *RangeSet) Ranges() []Range {
+	return append([]Range(nil), s.rs...)
+}
+
+// Above returns up to max ranges lying strictly above seq, most recent (the
+// highest) first — the shape of TCP SACK blocks, which report the newest
+// holes' edges first and are capped at three blocks by option space.
+func (s *RangeSet) Above(seq int64, max int) []Range {
+	var out []Range
+	for i := len(s.rs) - 1; i >= 0 && (max <= 0 || len(out) < max); i-- {
+		r := s.rs[i]
+		if r.End <= seq {
+			break
+		}
+		if r.Start < seq {
+			r.Start = seq
+		}
+		if r.Len() > 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Covered returns the total units covered by the set.
+func (s *RangeSet) Covered() int64 {
+	var n int64
+	for _, r := range s.rs {
+		n += r.Len()
+	}
+	return n
+}
+
+// Count returns the number of discrete ranges.
+func (s *RangeSet) Count() int { return len(s.rs) }

@@ -1,0 +1,87 @@
+package transport
+
+import "time"
+
+// RTTEstimator implements the RFC 6298 smoothed RTT and retransmission
+// timeout computation, with the Linux 200 ms minimum RTO.
+type RTTEstimator struct {
+	srtt   time.Duration
+	rttvar time.Duration
+	minRTT time.Duration
+	latest time.Duration
+	valid  bool
+
+	// Backoff multiplies the RTO after successive timeouts and resets on a
+	// fresh sample.
+	Backoff int
+}
+
+// Timeout bounds.
+const (
+	minRTO = 200 * time.Millisecond
+	maxRTO = 60 * time.Second
+	// initialRTO is used before the first sample (RFC 6298 says 1 s).
+	initialRTO = time.Second
+)
+
+// AddSample folds a new round-trip measurement into the estimator.
+func (e *RTTEstimator) AddSample(rtt time.Duration) {
+	if rtt <= 0 {
+		return
+	}
+	e.latest = rtt
+	if e.minRTT == 0 || rtt < e.minRTT {
+		e.minRTT = rtt
+	}
+	if !e.valid {
+		e.srtt = rtt
+		e.rttvar = rtt / 2
+		e.valid = true
+	} else {
+		d := e.srtt - rtt
+		if d < 0 {
+			d = -d
+		}
+		e.rttvar = (3*e.rttvar + d) / 4
+		e.srtt = (7*e.srtt + rtt) / 8
+	}
+	e.Backoff = 0
+}
+
+// SRTT returns the smoothed RTT, or 0 before the first sample.
+func (e *RTTEstimator) SRTT() time.Duration {
+	if !e.valid {
+		return 0
+	}
+	return e.srtt
+}
+
+// MinRTT returns the smallest observed RTT.
+func (e *RTTEstimator) MinRTT() time.Duration { return e.minRTT }
+
+// Latest returns the most recent sample.
+func (e *RTTEstimator) Latest() time.Duration { return e.latest }
+
+// HasSample reports whether at least one measurement was taken.
+func (e *RTTEstimator) HasSample() bool { return e.valid }
+
+// RTO returns the current retransmission timeout including backoff.
+func (e *RTTEstimator) RTO() time.Duration {
+	rto := initialRTO
+	if e.valid {
+		rto = e.srtt + 4*e.rttvar
+	}
+	if rto < minRTO {
+		rto = minRTO
+	}
+	for i := 0; i < e.Backoff; i++ {
+		rto *= 2
+		if rto >= maxRTO {
+			return maxRTO
+		}
+	}
+	if rto > maxRTO {
+		rto = maxRTO
+	}
+	return rto
+}

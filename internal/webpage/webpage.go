@@ -1,0 +1,338 @@
+// Package webpage models the websites the paper replays: the 36 sites
+// derived from the Alexa Top 50 and Moz Top 50 (via Wijnants et al.), chosen
+// for high variation in size (objects and bytes) and in multi-server nature
+// (contacted hosts). Since the recorded Mahimahi copies are not available,
+// the corpus is generated deterministically from per-site profiles that
+// match the published characteristics: object count, total bytes, host
+// fan-out, dependency depth, and — for the banner case the paper discusses
+// around Figure 1 — a late-loading welcome overlay.
+package webpage
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// ObjectType classifies a resource for render and priority decisions.
+type ObjectType int
+
+const (
+	HTML ObjectType = iota
+	CSS
+	JS
+	Image
+	Font
+	XHR
+	Banner
+)
+
+func (t ObjectType) String() string {
+	switch t {
+	case HTML:
+		return "html"
+	case CSS:
+		return "css"
+	case JS:
+		return "js"
+	case Image:
+		return "img"
+	case Font:
+		return "font"
+	case XHR:
+		return "xhr"
+	case Banner:
+		return "banner"
+	}
+	return "?"
+}
+
+// Priority returns the HTTP/2-style fetch priority bucket (lower is more
+// urgent), mirroring Chromium's resource priorities.
+func (t ObjectType) Priority() int {
+	switch t {
+	case HTML, CSS:
+		return 0
+	case JS, Font:
+		return 1
+	case XHR:
+		return 2
+	default:
+		return 3 // images, banner payloads
+	}
+}
+
+// Object is one fetchable resource of a site.
+type Object struct {
+	ID   int
+	Type ObjectType
+	// Host indexes the site's host list (0 = primary origin).
+	Host int
+	// Bytes is the response body size.
+	Bytes int64
+	// Parent is the object whose processing discovers this one (-1 for the
+	// root HTML document).
+	Parent int
+	// DiscoverFrac is the fraction of the parent's bytes that must be
+	// delivered before this object's URL is discovered (incremental HTML
+	// parsing); for non-HTML parents discovery happens at completion
+	// regardless of this value.
+	DiscoverFrac float64
+	// RenderWeight is this object's share of visual completeness (sums to
+	// 1 across the site). Non-visual resources carry 0.
+	RenderWeight float64
+	// RenderBlocking marks resources that must finish before first paint
+	// (stylesheets, synchronous head scripts).
+	RenderBlocking bool
+	// ExecDelay models script execution / timer time between this object's
+	// discovery trigger and its actual fetch (e.g. a consent overlay shown
+	// from a setTimeout after its script loads).
+	ExecDelay time.Duration
+}
+
+// Site is one replayed website.
+type Site struct {
+	Name  string
+	Hosts []string
+	// Objects[0] is the root HTML document.
+	Objects []Object
+	// Lab marks the five sites used in the controlled lab study.
+	Lab bool
+}
+
+// TotalBytes sums all response bodies.
+func (s *Site) TotalBytes() int64 {
+	var n int64
+	for _, o := range s.Objects {
+		n += o.Bytes
+	}
+	return n
+}
+
+// HostCount returns the number of distinct hosts the site contacts.
+func (s *Site) HostCount() int { return len(s.Hosts) }
+
+// Validate checks structural invariants of the dependency DAG.
+func (s *Site) Validate() error {
+	if len(s.Objects) == 0 {
+		return fmt.Errorf("webpage %s: no objects", s.Name)
+	}
+	if s.Objects[0].Type != HTML || s.Objects[0].Parent != -1 {
+		return fmt.Errorf("webpage %s: object 0 must be the root HTML", s.Name)
+	}
+	var weight float64
+	for i, o := range s.Objects {
+		if o.ID != i {
+			return fmt.Errorf("webpage %s: object %d has ID %d", s.Name, i, o.ID)
+		}
+		if i > 0 && (o.Parent < 0 || o.Parent >= i) {
+			// Parents precede children, which also guarantees acyclicity.
+			return fmt.Errorf("webpage %s: object %d parent %d out of order", s.Name, i, o.Parent)
+		}
+		if o.Bytes <= 0 {
+			return fmt.Errorf("webpage %s: object %d has %d bytes", s.Name, i, o.Bytes)
+		}
+		if o.Host < 0 || o.Host >= len(s.Hosts) {
+			return fmt.Errorf("webpage %s: object %d host %d out of range", s.Name, i, o.Host)
+		}
+		if o.DiscoverFrac < 0 || o.DiscoverFrac > 1 {
+			return fmt.Errorf("webpage %s: object %d discover frac %f", s.Name, i, o.DiscoverFrac)
+		}
+		weight += o.RenderWeight
+	}
+	if weight < 0.999 || weight > 1.001 {
+		return fmt.Errorf("webpage %s: render weights sum to %f", s.Name, weight)
+	}
+	return nil
+}
+
+// profile drives the deterministic site generator.
+type profile struct {
+	name     string
+	objects  int   // total object count (including root HTML)
+	totalKB  int64 // approximate page weight
+	hosts    int   // distinct hosts contacted
+	banner   bool  // late welcome overlay (the Figure 1 case)
+	lab      bool  // one of the five lab-study sites
+	heroFrac float64
+}
+
+// generate expands a profile into a concrete Site. All randomness derives
+// from the site name via the corpus seed, so the corpus is stable across
+// runs and processes.
+func generate(p profile, seed int64) *Site {
+	rng := rand.New(rand.NewSource(seed ^ hashName(p.name)))
+	s := &Site{Name: p.name, Lab: p.lab}
+
+	s.Hosts = append(s.Hosts, p.name)
+	for h := 1; h < p.hosts; h++ {
+		s.Hosts = append(s.Hosts, fmt.Sprintf("cdn%d.%s", h, p.name))
+	}
+
+	total := p.totalKB << 10
+	// Root HTML: 4-10% of the page, at least 8 KB, at most 220 KB.
+	htmlBytes := clamp64(total*int64(4+rng.Intn(7))/100, 8<<10, 220<<10)
+	s.Objects = append(s.Objects, Object{
+		ID: 0, Type: HTML, Host: 0, Bytes: htmlBytes, Parent: -1,
+	})
+
+	remaining := total - htmlBytes
+	nObjs := p.objects - 1
+	if nObjs < 3 {
+		nObjs = 3
+	}
+
+	// Resource mix fractions by count.
+	nCSS := 1 + nObjs/20
+	nJS := 1 + nObjs/6
+	nFont := rng.Intn(3)
+	nXHR := nObjs / 15
+	nImg := nObjs - nCSS - nJS - nFont - nXHR
+	if nImg < 1 {
+		nImg = 1
+	}
+
+	// Byte budget: CSS/JS/fonts get modest sizes, images get the rest with
+	// one dominant hero image.
+	type plan struct {
+		typ      ObjectType
+		bytes    int64
+		parent   int
+		frac     float64
+		blocking bool
+	}
+	var plans []plan
+	cssBudget := remaining / 10
+	for i := 0; i < nCSS; i++ {
+		b := clamp64(cssBudget/int64(nCSS), 4<<10, 120<<10)
+		plans = append(plans, plan{CSS, b, 0, 0.05 + rng.Float64()*0.15, true})
+	}
+	jsBudget := remaining / 4
+	for i := 0; i < nJS; i++ {
+		b := clamp64(jsBudget/int64(nJS), 6<<10, 400<<10)
+		blocking := i == 0 // one synchronous head script
+		plans = append(plans, plan{JS, b, 0, 0.1 + rng.Float64()*0.7, blocking})
+	}
+	for i := 0; i < nFont; i++ {
+		// Fonts are discovered from the first stylesheet.
+		plans = append(plans, plan{Font, int64(20+rng.Intn(60)) << 10, 1, 0, false})
+	}
+	imgBudget := remaining - cssBudget - jsBudget
+	if imgBudget < int64(nImg)<<10 {
+		imgBudget = int64(nImg) << 10
+	}
+	hero := int64(float64(imgBudget) * p.heroFrac)
+	for i := 0; i < nImg; i++ {
+		var b int64
+		if i == 0 {
+			b = hero
+		} else {
+			b = (imgBudget - hero) / int64(nImg)
+		}
+		b = clamp64(b, 2<<10, 3<<20)
+		plans = append(plans, plan{Image, b, 0, 0.15 + rng.Float64()*0.8, false})
+	}
+	for i := 0; i < nXHR; i++ {
+		// XHRs fire from the first (synchronous) script.
+		parent := 1 + nCSS // index of the first JS in the final layout
+		plans = append(plans, plan{XHR, int64(2+rng.Intn(30)) << 10, parent, 0, false})
+	}
+
+	for i, pl := range plans {
+		host := 0
+		if pl.typ == Image || pl.typ == Font || pl.typ == JS {
+			host = rng.Intn(len(s.Hosts)) // third-party heavy types
+		} else if rng.Float64() < 0.2 {
+			host = rng.Intn(len(s.Hosts))
+		}
+		s.Objects = append(s.Objects, Object{
+			ID: i + 1, Type: pl.typ, Host: host, Bytes: pl.bytes,
+			Parent: pl.parent, DiscoverFrac: pl.frac, RenderBlocking: pl.blocking,
+		})
+	}
+
+	if p.banner {
+		// The demorgen.be case: a consent/welcome overlay whose script loads
+		// late and repaints a large share of the viewport.
+		bannerJS := Object{
+			ID: len(s.Objects), Type: JS, Host: 0, Bytes: 60 << 10,
+			Parent: 0, DiscoverFrac: 0.95,
+		}
+		s.Objects = append(s.Objects, bannerJS)
+		s.Objects = append(s.Objects, Object{
+			ID: len(s.Objects), Type: Banner, Host: 0, Bytes: 90 << 10,
+			Parent: bannerJS.ID, ExecDelay: 1200 * time.Millisecond,
+		})
+	}
+
+	assignRenderWeights(s, rng)
+	return s
+}
+
+// assignRenderWeights distributes visual-completeness shares: the document
+// text gets a base share, images split most of the rest proportional to
+// size, and a banner repaints a fixed overlay share.
+func assignRenderWeights(s *Site, rng *rand.Rand) {
+	var imgBytes int64
+	hasBanner := false
+	for _, o := range s.Objects {
+		if o.Type == Image {
+			imgBytes += o.Bytes
+		}
+		if o.Type == Banner {
+			hasBanner = true
+		}
+	}
+	textShare := 0.25 + rng.Float64()*0.15
+	bannerShare := 0.0
+	if hasBanner {
+		bannerShare = 0.15
+	}
+	imgShare := 1 - textShare - bannerShare
+	for i := range s.Objects {
+		o := &s.Objects[i]
+		switch o.Type {
+		case HTML:
+			if o.ID == 0 {
+				o.RenderWeight = textShare
+			}
+		case Image:
+			if imgBytes > 0 {
+				o.RenderWeight = imgShare * float64(o.Bytes) / float64(imgBytes)
+			}
+		case Banner:
+			o.RenderWeight = bannerShare
+		}
+	}
+	// Normalize drift (e.g. no images at all).
+	var sum float64
+	for _, o := range s.Objects {
+		sum += o.RenderWeight
+	}
+	if sum <= 0 {
+		s.Objects[0].RenderWeight = 1
+		return
+	}
+	for i := range s.Objects {
+		s.Objects[i].RenderWeight /= sum
+	}
+}
+
+func clamp64(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func hashName(name string) int64 {
+	var h int64 = 1469598103934665603
+	for _, c := range name {
+		h ^= int64(c)
+		h *= 1099511628211
+	}
+	return h
+}
