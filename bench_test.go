@@ -18,6 +18,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/metrics"
 	"repro/internal/participant"
+	"repro/internal/runner"
 	"repro/internal/simnet"
 	"repro/internal/stats"
 	"repro/internal/study"
@@ -109,6 +110,36 @@ func BenchmarkFig5Ratings(b *testing.B) {
 func BenchmarkFig6Correlation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig6(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllExperimentsSharedTestbed runs the full `qoebench all` batch
+// through the runner: one shared testbed, merged prewarm plan, parallel
+// experiments. Compare against the sum of the per-figure benchmarks above to
+// see the shared-cache speedup (each condition is recorded once per batch
+// instead of once per experiment).
+func BenchmarkAllExperimentsSharedTestbed(b *testing.B) {
+	exps := experiments.All()
+	for i := 0; i < b.N; i++ {
+		rep := runner.Run(exps, runner.Options{Scale: benchScale(), Seed: 9})
+		if err := rep.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if rep.Cache.Records != uint64(rep.Conditions) {
+			b.Fatalf("recorded %d, want %d", rep.Cache.Records, rep.Conditions)
+		}
+	}
+}
+
+// BenchmarkAllExperimentsSequential is the same batch pinned to one worker —
+// the baseline for the parallel speedup.
+func BenchmarkAllExperimentsSequential(b *testing.B) {
+	exps := experiments.All()
+	for i := 0; i < b.N; i++ {
+		rep := runner.Run(exps, runner.Options{Scale: benchScale(), Seed: 9, Parallel: 1})
+		if err := rep.Err(); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -3,34 +3,59 @@
 //
 // Usage:
 //
-//	qoebench [-scale quick|standard|paper] [-seed N] <experiment>
+//	qoebench [-scale quick|standard|paper] [-seed N] [-format text|csv|json]
+//	         [-parallel N] <experiment> [experiment ...]
+//	qoebench -list
 //
-// Experiments: table1 table2 table3 fig3 fig4 fig5 fig6
-// ablate-iw ablate-pacing ablate-hol ext-0rtt all
+// Experiments are discovered from the registry in internal/experiments
+// (qoebench -list prints them); the pseudo-name "all" selects every one.
+// All selected experiments run through internal/runner against one shared
+// testbed: the recording plans they declare are merged into a single prewarm
+// pass so each (site × network × protocol) condition is simulated exactly
+// once for the whole batch, and -parallel bounds how many experiments run
+// concurrently. Each experiment's seed is derived deterministically from
+// -seed and its name, so output is reproducible and independent of both
+// -parallel and which other experiments run alongside.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"time"
 
 	"repro/internal/core"
+	"repro/internal/runner"
+
 	"repro/internal/experiments"
-	"repro/internal/export"
 )
 
 func main() {
 	scale := flag.String("scale", "quick", "testbed scale: quick (5 lab sites x5 reps), standard (36 sites x7), paper (36 x31)")
-	seed := flag.Int64("seed", 1, "master random seed")
-	format := flag.String("format", "text", "output format for table3/fig4/fig5/fig6: text, csv or json")
+	seed := flag.Int64("seed", 1, "master random seed (per-experiment seeds are derived from it)")
+	format := flag.String("format", "text", "output format for every experiment: text, csv or json")
+	parallel := flag.Int("parallel", 0, "max experiments running concurrently (0 = GOMAXPROCS, 1 = sequential)")
+	list := flag.Bool("list", false, "list registered experiments and exit")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qoebench [-scale quick|standard|paper] [-seed N] <experiment>\n")
-		fmt.Fprintf(os.Stderr, "experiments: table1 table2 table3 fig3 fig4 fig5 fig6 ablate-iw ablate-pacing ablate-hol ext-0rtt all\n")
+		fmt.Fprintf(os.Stderr, "usage: qoebench [-scale quick|standard|paper] [-seed N] [-format text|csv|json] [-parallel N] <experiment> [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "       qoebench -list\n")
+		fmt.Fprintf(os.Stderr, "experiments: %v all\n", experiments.Names())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 1 {
+
+	if *list {
+		for _, name := range experiments.Names() {
+			e, _ := experiments.Lookup(name)
+			nets, prots := e.Conditions()
+			if len(nets) == 0 && len(prots) == 0 {
+				fmt.Printf("%-14s (no recordings)\n", name)
+				continue
+			}
+			fmt.Printf("%-14s records %d networks x %d protocols\n", name, len(nets), len(prots))
+		}
+		return
+	}
+	if flag.NArg() < 1 {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -47,96 +72,33 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	opts := experiments.Options{Scale: sc, Seed: *seed}
-
-	run := func(name string) error {
-		start := time.Now()
-		defer func() {
-			fmt.Printf("\n[%s done in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
-		}()
-		switch name {
-		case "table1":
-			experiments.Table1(os.Stdout)
-		case "table2":
-			experiments.Table2(os.Stdout)
-		case "table3":
-			res := experiments.Table3(*seed)
-			switch *format {
-			case "csv":
-				return export.Table3CSV(os.Stdout, res)
-			case "json":
-				return export.WriteJSON(os.Stdout, res)
-			}
-			res.Render(os.Stdout)
-		case "fig3":
-			res, err := experiments.Fig3(opts)
-			if err != nil {
-				return err
-			}
-			if *format == "json" {
-				return export.WriteJSON(os.Stdout, res)
-			}
-			res.Render(os.Stdout)
-		case "fig4":
-			res, err := experiments.Fig4(opts)
-			if err != nil {
-				return err
-			}
-			switch *format {
-			case "csv":
-				return export.Fig4CSV(os.Stdout, res)
-			case "json":
-				return export.WriteJSON(os.Stdout, res.Shares)
-			}
-			res.Render(os.Stdout)
-		case "fig5":
-			res, err := experiments.Fig5(opts)
-			if err != nil {
-				return err
-			}
-			switch *format {
-			case "csv":
-				return export.Fig5CSV(os.Stdout, res)
-			case "json":
-				return export.WriteJSON(os.Stdout, res.Cells)
-			}
-			res.Render(os.Stdout)
-		case "fig6":
-			res, err := experiments.Fig6(opts)
-			if err != nil {
-				return err
-			}
-			switch *format {
-			case "csv":
-				return export.Fig6CSV(os.Stdout, res)
-			case "json":
-				return export.WriteJSON(os.Stdout, res.Cells)
-			}
-			res.Render(os.Stdout)
-		case "ablate-iw":
-			experiments.RenderAblation(os.Stdout, "Ablation A1: initial window IW32 vs IW10 (stock TCP base)", experiments.AblationIW(opts))
-		case "ablate-pacing":
-			experiments.RenderAblation(os.Stdout, "Ablation A2: pacing on vs off (TCP+ base)", experiments.AblationPacing(opts))
-		case "ablate-hol":
-			experiments.RenderAblation(os.Stdout, "Ablation A3: per-stream (QUIC) vs byte-stream (TCP+) delivery", experiments.AblationHOL(opts))
-		case "ext-0rtt":
-			experiments.RenderAblation(os.Stdout, "Extension E1: QUIC 0-RTT repeat visit vs 1-RTT", experiments.Ext0RTT(opts))
-		default:
-			return fmt.Errorf("unknown experiment %q", name)
-		}
-		return nil
+	switch runner.Format(*format) {
+	case runner.Text, runner.CSV, runner.JSON:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
+		os.Exit(2)
 	}
 
-	target := flag.Arg(0)
-	names := []string{target}
-	if target == "all" {
-		names = []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6",
-			"ablate-iw", "ablate-pacing", "ablate-hol", "ext-0rtt"}
+	exps, err := experiments.Select(flag.Args()...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoebench: %v\n", err)
+		os.Exit(2)
 	}
-	for _, n := range names {
-		if err := run(n); err != nil {
-			fmt.Fprintf(os.Stderr, "qoebench: %v\n", err)
-			os.Exit(1)
-		}
+
+	rep := runner.Run(exps, runner.Options{
+		Scale:    sc,
+		Seed:     *seed,
+		Parallel: *parallel,
+		Format:   runner.Format(*format),
+	})
+	if err := rep.WriteOutputs(os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "qoebench: %v\n", err)
+		os.Exit(1)
+	}
+	// Keep stdout machine-readable for csv/json: accounting goes to stderr.
+	if runner.Format(*format) == runner.Text {
+		fmt.Println(rep.Summary())
+	} else {
+		fmt.Fprintln(os.Stderr, rep.Summary())
 	}
 }

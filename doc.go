@@ -13,7 +13,19 @@
 //	cmd/pageload  — load one site under one configuration
 //	examples/     — runnable API tours
 //
+// Experiments are first-class: each table, figure, ablation, and extension
+// registers itself in internal/experiments as an Experiment (declaring the
+// recording conditions it needs, running against a caller-supplied shared
+// core.Testbed, and returning a Result that renders as text, CSV, or JSON).
+// internal/runner executes any set of registered experiments off one shared
+// testbed: it merges their declared condition grids into a single prewarm
+// plan, records each (site × network × protocol) condition exactly once
+// (the testbed's singleflight cache deduplicates concurrent misses), and
+// runs the experiments on a bounded worker pool with deterministic
+// per-experiment seeds — so `qoebench all` does the transport/browser
+// simulation work once, not once per experiment.
+//
 // See DESIGN.md for the substitution ledger (what the paper's hardware and
 // human apparatus was replaced with, and why that preserves behaviour) and
-// EXPERIMENTS.md for paper-vs-measured comparisons.
+// EXPERIMENTS.md for how to regenerate the paper's artifacts via qoebench.
 package repro

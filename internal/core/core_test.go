@@ -1,10 +1,15 @@
 package core
 
 import (
+	"sync"
+	"sync/atomic"
 	"testing"
 
+	"repro/internal/httpsim"
 	"repro/internal/simnet"
 	"repro/internal/study"
+	"repro/internal/video"
+	"repro/internal/webpage"
 )
 
 func TestProtocolCatalog(t *testing.T) {
@@ -190,5 +195,67 @@ func TestRatingConditionsEnvironments(t *testing.T) {
 		if c.Network != nets[0] && c.Network != nets[1] {
 			t.Fatalf("condition %v uses network %s outside its environment", c.Environment, c.Network)
 		}
+	}
+}
+
+// TestRecordingsSingleflight: concurrent cache misses for one condition must
+// share a single video.Record run instead of each simulating it (the old
+// check-then-act race recorded twice and discarded one result).
+func TestRecordingsSingleflight(t *testing.T) {
+	tb := NewTestbed(Scale{Sites: QuickScale().Sites[:1], Reps: 2}, 5)
+	var calls atomic.Int64
+	realRecord := tb.record
+	tb.record = func(site *webpage.Site, net simnet.NetworkConfig, proto httpsim.Protocol, n int, baseSeed int64) []video.Recording {
+		calls.Add(1)
+		return realRecord(site, net, proto, n, baseSeed)
+	}
+	site := tb.Scale.Sites[0]
+
+	const goroutines = 16
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-start
+			tb.Recordings(site, simnet.DSL, "QUIC")
+		}()
+	}
+	close(start)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("video.Record invoked %d times for one condition, want 1", got)
+	}
+	stats := tb.Stats()
+	if stats.Records != 1 {
+		t.Fatalf("stats.Records = %d, want 1", stats.Records)
+	}
+	if stats.Hits != goroutines-1 {
+		t.Fatalf("stats.Hits = %d, want %d", stats.Hits, goroutines-1)
+	}
+	// All callers see the same cached slice afterwards.
+	a := tb.Recordings(site, simnet.DSL, "QUIC")
+	b := tb.Recordings(site, simnet.DSL, "QUIC")
+	if &a[0] != &b[0] {
+		t.Fatal("post-flight lookups should share the cached backing array")
+	}
+	if calls.Load() != 1 {
+		t.Fatal("cache hits must not re-record")
+	}
+}
+
+// TestDeriveSeedMatchesCondKeyIdiom pins the seed-derivation formula the
+// runner shares with per-condition recording seeds.
+func TestDeriveSeedMatchesCondKeyIdiom(t *testing.T) {
+	if DeriveSeed(0, "fig5") != int64(hash("fig5")) {
+		t.Fatal("DeriveSeed(0, name) should equal FNV(name)")
+	}
+	if DeriveSeed(7, "fig5") == DeriveSeed(7, "fig6") {
+		t.Fatal("different names must derive different seeds")
+	}
+	if DeriveSeed(7, "fig5") != DeriveSeed(7, "fig5") {
+		t.Fatal("derivation must be deterministic")
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/httpsim"
 	"repro/internal/simnet"
 	"repro/internal/video"
 	"repro/internal/webpage"
@@ -28,19 +29,47 @@ func StandardScale() Scale { return Scale{Sites: webpage.Corpus(), Reps: 7} }
 // PaperScale matches the paper's recording effort: 36 sites, 31 reps.
 func PaperScale() Scale { return Scale{Sites: webpage.Corpus(), Reps: 31} }
 
+// CacheStats counts how the recording cache behaved: Records is the number
+// of conditions actually simulated, Hits the number of lookups served from
+// the cache or by waiting on another goroutine's in-flight recording.
+type CacheStats struct {
+	Hits    uint64
+	Records uint64
+}
+
+// inflightCall tracks one in-progress recording so that concurrent cache
+// misses for the same condition share a single video.Record run.
+type inflightCall struct {
+	done chan struct{}
+	recs []video.Recording
+}
+
 // Testbed records and caches page-load videos for study conditions. It is
-// safe for concurrent use.
+// safe for concurrent use: simultaneous requests for the same condition are
+// deduplicated (singleflight) so each condition is recorded exactly once per
+// testbed lifetime.
 type Testbed struct {
 	Scale Scale
 	Seed  int64
 
-	mu    sync.Mutex
-	cache map[string][]video.Recording
+	mu       sync.Mutex
+	cache    map[string][]video.Recording
+	inflight map[string]*inflightCall
+	stats    CacheStats
+
+	// record is video.Record, injectable so tests can count invocations.
+	record func(site *webpage.Site, net simnet.NetworkConfig, proto httpsim.Protocol, n int, baseSeed int64) []video.Recording
 }
 
 // NewTestbed builds a testbed at the given scale.
 func NewTestbed(scale Scale, seed int64) *Testbed {
-	return &Testbed{Scale: scale, Seed: seed, cache: make(map[string][]video.Recording)}
+	return &Testbed{
+		Scale:    scale,
+		Seed:     seed,
+		cache:    make(map[string][]video.Recording),
+		inflight: make(map[string]*inflightCall),
+		record:   video.Record,
+	}
 }
 
 func condKey(site, network, protocol string) string {
@@ -48,21 +77,43 @@ func condKey(site, network, protocol string) string {
 }
 
 // Recordings returns (recording if needed) all repetitions of a condition.
+// Concurrent callers that miss the cache on the same key block on a single
+// shared recording run instead of each simulating it.
 func (tb *Testbed) Recordings(site *webpage.Site, net simnet.NetworkConfig, protocol string) []video.Recording {
 	key := condKey(site.Name, net.Name, protocol)
 	tb.mu.Lock()
-	recs, ok := tb.cache[key]
-	tb.mu.Unlock()
-	if ok {
+	if recs, ok := tb.cache[key]; ok {
+		tb.stats.Hits++
+		tb.mu.Unlock()
 		return recs
 	}
-	proto := MustProtocol(protocol, net)
-	baseSeed := tb.Seed ^ int64(hash(key))
-	recs = video.Record(site, net, proto, tb.Scale.Reps, baseSeed)
-	tb.mu.Lock()
-	tb.cache[key] = recs
+	if call, ok := tb.inflight[key]; ok {
+		tb.stats.Hits++
+		tb.mu.Unlock()
+		<-call.done
+		return call.recs
+	}
+	call := &inflightCall{done: make(chan struct{})}
+	tb.inflight[key] = call
+	tb.stats.Records++
 	tb.mu.Unlock()
-	return recs
+
+	proto := MustProtocol(protocol, net)
+	call.recs = tb.record(site, net, proto, tb.Scale.Reps, DeriveSeed(tb.Seed, key))
+
+	tb.mu.Lock()
+	tb.cache[key] = call.recs
+	delete(tb.inflight, key)
+	tb.mu.Unlock()
+	close(call.done)
+	return call.recs
+}
+
+// Stats returns a snapshot of the cache counters.
+func (tb *Testbed) Stats() CacheStats {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.stats
 }
 
 // Typical returns the condition's representative video (closest-to-mean-PLT
@@ -114,6 +165,13 @@ func (tb *Testbed) Prewarm(networks []simnet.NetworkConfig, protocols []string) 
 	}
 	close(ch)
 	wg.Wait()
+}
+
+// DeriveSeed mixes a name into a master seed: FNV-1a over the name XOR the
+// master seed. It is the idiom behind both per-condition recording seeds
+// (keyed by site|network|protocol) and the runner's per-experiment seeds.
+func DeriveSeed(master int64, name string) int64 {
+	return master ^ int64(hash(name))
 }
 
 // hash is FNV-1a over the condition key for seed derivation.

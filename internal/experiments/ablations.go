@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"repro/internal/browser"
@@ -115,16 +117,77 @@ func Ext0RTT(opts Options) []AblationRow {
 		})
 }
 
-// RenderAblation prints ablation rows.
-func RenderAblation(w io.Writer, title string, rows []AblationRow) {
-	fmt.Fprintf(w, "%s\n", title)
+// AblationResult carries one ablation or extension comparison.
+type AblationResult struct {
+	Title string
+	Rows  []AblationRow
+}
+
+// Render prints the comparison table.
+func (r AblationResult) Render(w io.Writer) {
+	fmt.Fprintf(w, "%s\n", r.Title)
 	fmt.Fprintf(w, "%-7s %-20s %-20s %10s %10s %8s\n", "Network", "A", "B", "SI(A)", "SI(B)", "B/A")
-	for _, r := range rows {
+	for _, row := range r.Rows {
 		fmt.Fprintf(w, "%-7s %-20s %-20s %10s %10s %8.2f\n",
-			r.Network, r.LabelA, r.LabelB,
-			r.MeanSIA.Round(time.Millisecond), r.MeanSIB.Round(time.Millisecond), r.Speedup)
+			row.Network, row.LabelA, row.LabelB,
+			row.MeanSIA.Round(time.Millisecond), row.MeanSIB.Round(time.Millisecond), row.Speedup)
 	}
 }
 
-// ensure core is referenced (protocol catalog reserved for future ablations).
-var _ = core.ProtocolNames
+// CSV writes one row per network comparison.
+func (r AblationResult) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"network", "label_a", "label_b",
+		"mean_si_a_s", "mean_si_b_s", "speedup_b_over_a", "winner_a"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		rec := []string{
+			row.Network, row.LabelA, row.LabelB,
+			fmtFloat(row.MeanSIA.Seconds()),
+			fmtFloat(row.MeanSIB.Seconds()),
+			fmtFloat(row.Speedup),
+			strconv.FormatBool(row.WinnerA),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes the full result as indented JSON.
+func (r AblationResult) JSON(w io.Writer) error { return writeJSON(w, r) }
+
+// RenderAblation prints ablation rows under a title.
+func RenderAblation(w io.Writer, title string, rows []AblationRow) {
+	AblationResult{Title: title, Rows: rows}.Render(w)
+}
+
+// ablationExp registers one ablation/extension comparison. Ablations drive
+// browser.Load directly (they compare protocol variants outside the Table 1
+// catalog), so they declare no testbed conditions and ignore the shared
+// testbed.
+type ablationExp struct {
+	name  string
+	title string
+	run   func(Options) []AblationRow
+}
+
+func (a ablationExp) Name() string                                   { return a.name }
+func (a ablationExp) Conditions() ([]simnet.NetworkConfig, []string) { return nil, nil }
+func (a ablationExp) Run(tb *core.Testbed, opts Options) (Result, error) {
+	return AblationResult{Title: a.title, Rows: a.run(opts)}, nil
+}
+
+func init() {
+	Register(ablationExp{"ablate-iw",
+		"Ablation A1: initial window IW32 vs IW10 (stock TCP base)", AblationIW})
+	Register(ablationExp{"ablate-pacing",
+		"Ablation A2: pacing on vs off (TCP+ base)", AblationPacing})
+	Register(ablationExp{"ablate-hol",
+		"Ablation A3: per-stream (QUIC) vs byte-stream (TCP+) delivery", AblationHOL})
+	Register(ablationExp{"ext-0rtt",
+		"Extension E1: QUIC 0-RTT repeat visit vs 1-RTT", Ext0RTT})
+}

@@ -103,3 +103,65 @@ func TestSeedChangesVotesNotShapes(t *testing.T) {
 		}
 	}
 }
+
+// TestRegistryCoversAllExperiments pins the registry contents and canonical
+// order that `qoebench all` executes.
+func TestRegistryCoversAllExperiments(t *testing.T) {
+	want := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6",
+		"ablate-iw", "ablate-pacing", "ablate-hol", "ext-0rtt"}
+	got := Names()
+	if len(got) != len(want) {
+		t.Fatalf("registered = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered = %v, want %v", got, want)
+		}
+	}
+	if _, ok := Lookup("fig5"); !ok {
+		t.Fatal("lookup failed for fig5")
+	}
+	if _, err := Select("all"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Select("no-such"); err == nil {
+		t.Fatal("Select should reject unknown names")
+	}
+}
+
+// TestRegisteredExperimentsDeterministic extends the per-figure determinism
+// tests to the registry contract: every experiment's Run against a shared
+// prewarmed testbed must render byte-identically across repeated runs, in
+// all three output formats.
+func TestRegisteredExperimentsDeterministic(t *testing.T) {
+	opts := tinyOpts()
+	encode := func() map[string]string {
+		tb := core.NewTestbed(opts.Scale, opts.Seed)
+		out := map[string]string{}
+		for _, e := range All() {
+			res, err := e.Run(tb, opts)
+			if err != nil {
+				t.Fatalf("%s: %v", e.Name(), err)
+			}
+			var buf bytes.Buffer
+			res.Render(&buf)
+			if err := res.CSV(&buf); err != nil {
+				t.Fatalf("%s: CSV: %v", e.Name(), err)
+			}
+			if err := res.JSON(&buf); err != nil {
+				t.Fatalf("%s: JSON: %v", e.Name(), err)
+			}
+			out[e.Name()] = buf.String()
+		}
+		return out
+	}
+	a, b := encode(), encode()
+	for name, want := range a {
+		if want == "" {
+			t.Fatalf("%s encoded empty output", name)
+		}
+		if b[name] != want {
+			t.Fatalf("%s not reproducible across runs", name)
+		}
+	}
+}

@@ -1,14 +1,29 @@
-// Package experiments contains one runner per table and figure of the
+// Package experiments contains one experiment per table and figure of the
 // paper's evaluation, plus the ablations and the 0-RTT extension experiment
-// from DESIGN.md. Each runner returns a structured result (asserted on by
-// tests and benchmarks) and can render itself as text (consumed by
-// cmd/qoebench and recorded in EXPERIMENTS.md).
+// from DESIGN.md.
+//
+// Every experiment implements the Experiment interface and registers itself
+// (in init) under its qoebench name; callers discover experiments through
+// Lookup/Names/Select instead of hard-coded dispatch. An Experiment declares
+// its (network × protocol) recording grid via Conditions — so a batch runner
+// (internal/runner) can merge the plans of all selected experiments into a
+// single testbed prewarm — and executes via Run against a caller-supplied
+// shared *core.Testbed, whose recording cache deduplicates condition
+// recordings across the whole batch. Run returns a Result that uniformly
+// renders as text, CSV, or JSON.
+//
+// The exported per-experiment functions (Fig3, Fig4, …, AblationIW) remain
+// as conveniences that build a private testbed, prewarm it, and run the one
+// experiment; tests and benchmarks that exercise a single experiment use
+// them directly.
 package experiments
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/simnet"
@@ -26,25 +41,107 @@ func DefaultOptions() Options {
 	return Options{Scale: core.QuickScale(), Seed: 1}
 }
 
-// Table1 prints the protocol-configuration table.
-func Table1(w io.Writer) {
+// Table1Result carries the protocol-configuration table.
+type Table1Result struct {
+	Rows []core.Table1Row
+}
+
+// Render prints the protocol-configuration table.
+func (r Table1Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "Table 1: protocol configurations\n")
 	fmt.Fprintf(w, "%-10s %s\n", "Protocol", "Description")
-	for _, row := range core.Table1() {
+	for _, row := range r.Rows {
 		fmt.Fprintf(w, "%-10s %s\n", row.Protocol, row.Description)
 	}
 }
 
-// Table2 prints the network-configuration table.
-func Table2(w io.Writer) {
+// CSV writes one row per protocol configuration.
+func (r Table1Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"protocol", "description"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		if err := cw.Write([]string{row.Protocol, row.Description}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes the rows as indented JSON.
+func (r Table1Result) JSON(w io.Writer) error { return writeJSON(w, r.Rows) }
+
+// Table2Result carries the network-configuration table.
+type Table2Result struct {
+	Networks []simnet.NetworkConfig
+}
+
+// Render prints the network-configuration table.
+func (r Table2Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "Table 2: network configurations (queue %v, DSL %v)\n",
 		simnet.LTE.QueueDelay, simnet.DSL.QueueDelay)
 	fmt.Fprintf(w, "%-7s %10s %10s %9s %7s\n", "Network", "Uplink", "Downlink", "min. RTT", "Loss")
-	for _, n := range simnet.Networks() {
+	for _, n := range r.Networks {
 		fmt.Fprintf(w, "%-7s %7.3f Mbps %7.3f Mbps %8s %6.1f%%\n",
 			n.Name, float64(n.UplinkBps)/1e6, float64(n.DownlinkBps)/1e6,
 			n.MinRTT, n.LossRate*100)
 	}
+}
+
+// CSV writes one row per network configuration.
+func (r Table2Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"network", "uplink_bps", "downlink_bps", "min_rtt_s", "loss_rate"}); err != nil {
+		return err
+	}
+	for _, n := range r.Networks {
+		rec := []string{
+			n.Name,
+			strconv.FormatInt(int64(n.UplinkBps), 10),
+			strconv.FormatInt(int64(n.DownlinkBps), 10),
+			fmtFloat(n.MinRTT.Seconds()),
+			fmtFloat(n.LossRate),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes the network configurations as indented JSON.
+func (r Table2Result) JSON(w io.Writer) error { return writeJSON(w, r.Networks) }
+
+// Table1 prints the protocol-configuration table.
+func Table1(w io.Writer) { Table1Result{Rows: core.Table1()}.Render(w) }
+
+// Table2 prints the network-configuration table.
+func Table2(w io.Writer) { Table2Result{Networks: simnet.Networks()}.Render(w) }
+
+// table1Exp and table2Exp register the static configuration tables; they
+// record nothing and ignore the testbed.
+type table1Exp struct{}
+
+func (table1Exp) Name() string                                   { return "table1" }
+func (table1Exp) Conditions() ([]simnet.NetworkConfig, []string) { return nil, nil }
+func (table1Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+	return Table1Result{Rows: core.Table1()}, nil
+}
+
+type table2Exp struct{}
+
+func (table2Exp) Name() string                                   { return "table2" }
+func (table2Exp) Conditions() ([]simnet.NetworkConfig, []string) { return nil, nil }
+func (table2Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+	return Table2Result{Networks: simnet.Networks()}, nil
+}
+
+func init() {
+	Register(table1Exp{})
+	Register(table2Exp{})
 }
 
 // networksByName resolves a list of Table 2 names.

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/simnet"
@@ -31,13 +33,35 @@ type Fig3Result struct {
 	InternetNormalP float64
 }
 
-// Fig3 runs the rating study for all three groups over the lab-tested
+// fig3Exp is the registered "fig3" experiment.
+type fig3Exp struct{}
+
+func (fig3Exp) Name() string { return "fig3" }
+
+func (fig3Exp) Conditions() ([]simnet.NetworkConfig, []string) {
+	return simnet.Networks(), study.RatingProtocols()
+}
+
+func (fig3Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+	return fig3Run(tb, opts)
+}
+
+func init() { Register(fig3Exp{}) }
+
+// Fig3 runs the rating study for all three groups on a private prewarmed
+// testbed. Batch callers use the registered experiment with a shared testbed
+// instead.
+func Fig3(opts Options) (Fig3Result, error) {
+	tb := core.NewTestbed(opts.Scale, opts.Seed)
+	tb.Prewarm(fig3Exp{}.Conditions())
+	return fig3Run(tb, opts)
+}
+
+// fig3Run runs the rating study for all three groups over the lab-tested
 // condition subset (the 27 conditions a lab session covers: 11 work, 11
 // free time, 5 plane) and compares their agreement, ordered by the lab mean
 // as in the paper's plot.
-func Fig3(opts Options) (Fig3Result, error) {
-	tb := core.NewTestbed(opts.Scale, opts.Seed)
-	tb.Prewarm(simnet.Networks(), study.RatingProtocols())
+func fig3Run(tb *core.Testbed, opts Options) (Fig3Result, error) {
 	all, err := tb.RatingConditions()
 	if err != nil {
 		return Fig3Result{}, err
@@ -183,3 +207,31 @@ func (r Fig3Result) Render(w io.Writer) {
 	fmt.Fprintf(w, "Normality (Jarque-Bera p, centered votes): lab=%.3f µWorker=%.3f internet=%.3f\n",
 		r.LabNormalP, r.MWorkerNormalP, r.InternetNormalP)
 }
+
+// CSV writes one row per condition with the three groups' statistics.
+func (r Fig3Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"site", "network", "protocol", "environment",
+		"lab_mean", "lab_ci_lo", "lab_ci_hi", "lab_n",
+		"mworker_mean", "mworker_ci_lo", "mworker_ci_hi", "mworker_n",
+		"internet_median", "internet_n"}); err != nil {
+		return err
+	}
+	for _, row := range r.Rows {
+		c := row.Condition
+		rec := []string{
+			c.Site, c.Network, c.Protocol, c.Environment.String(),
+			fmtFloat(row.Lab.Point), fmtFloat(row.Lab.Lo), fmtFloat(row.Lab.Hi), strconv.Itoa(row.LabN),
+			fmtFloat(row.MWorker.Point), fmtFloat(row.MWorker.Lo), fmtFloat(row.MWorker.Hi), strconv.Itoa(row.MWN),
+			fmtFloat(row.InternetMedian), strconv.Itoa(row.INN),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes the full result as indented JSON.
+func (r Fig3Result) JSON(w io.Writer) error { return writeJSON(w, r) }

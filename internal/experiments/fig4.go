@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/simnet"
@@ -16,12 +18,14 @@ type Fig4Result struct {
 	Outcome core.ABOutcome
 }
 
-// Fig4 runs the A/B study for the µWorker group (the paper's main crowd)
-// over the full pair × network × site grid.
-func Fig4(opts Options) (Fig4Result, error) {
-	tb := core.NewTestbed(opts.Scale, opts.Seed)
-	nets := simnet.Networks()
-	// Prewarm everything Figure 4 touches, in parallel.
+// fig4Exp is the registered "fig4" experiment.
+type fig4Exp struct{}
+
+func (fig4Exp) Name() string { return "fig4" }
+
+// Conditions declares every network crossed with the protocols appearing in
+// the Figure 4 pairings (in Table 1 catalog order).
+func (fig4Exp) Conditions() ([]simnet.NetworkConfig, []string) {
 	protos := map[string]bool{}
 	for _, p := range study.Pairs() {
 		protos[p.A] = true
@@ -33,9 +37,27 @@ func Fig4(opts Options) (Fig4Result, error) {
 			plist = append(plist, name)
 		}
 	}
-	tb.Prewarm(nets, plist)
+	return simnet.Networks(), plist
+}
 
-	conditions, err := tb.ABConditions(nets)
+func (fig4Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+	return fig4Run(tb, opts)
+}
+
+func init() { Register(fig4Exp{}) }
+
+// Fig4 runs the A/B study on a private prewarmed testbed. Batch callers use
+// the registered experiment with a shared testbed instead.
+func Fig4(opts Options) (Fig4Result, error) {
+	tb := core.NewTestbed(opts.Scale, opts.Seed)
+	tb.Prewarm(fig4Exp{}.Conditions())
+	return fig4Run(tb, opts)
+}
+
+// fig4Run runs the A/B study for the µWorker group (the paper's main crowd)
+// over the full pair × network × site grid.
+func fig4Run(tb *core.Testbed, opts Options) (Fig4Result, error) {
+	conditions, err := tb.ABConditions(simnet.Networks())
 	if err != nil {
 		return Fig4Result{}, err
 	}
@@ -74,3 +96,26 @@ func (r Fig4Result) Render(w io.Writer) {
 			s.AvgReplays, s.N)
 	}
 }
+
+// CSV writes the A/B vote shares, one row per (network, pair).
+func (r Fig4Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"network", "pair_a", "pair_b", "share_a", "share_nodiff", "share_b", "avg_replays", "n"}); err != nil {
+		return err
+	}
+	for _, s := range r.Shares {
+		rec := []string{
+			s.Network, s.Pair.A, s.Pair.B,
+			fmtFloat(s.ShareA), fmtFloat(s.ShareNone), fmtFloat(s.ShareB),
+			fmtFloat(s.AvgReplays), strconv.Itoa(s.N),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes the share cells as indented JSON.
+func (r Fig4Result) JSON(w io.Writer) error { return writeJSON(w, r.Shares) }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
 	"sort"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/simnet"
@@ -52,12 +54,33 @@ type Fig5Result struct {
 	Outcome   core.RatingOutcome
 }
 
-// Fig5 runs the rating study for the µWorker group and performs the paper's
-// §4.4 analyses: per-cell 99% confidence intervals, the ANOVA significance
-// screen, and the per-website drill-down.
+// fig5Exp is the registered "fig5" experiment.
+type fig5Exp struct{}
+
+func (fig5Exp) Name() string { return "fig5" }
+
+func (fig5Exp) Conditions() ([]simnet.NetworkConfig, []string) {
+	return simnet.Networks(), study.RatingProtocols()
+}
+
+func (fig5Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+	return fig5Run(tb, opts)
+}
+
+func init() { Register(fig5Exp{}) }
+
+// Fig5 runs the rating-study analysis on a private prewarmed testbed. Batch
+// callers use the registered experiment with a shared testbed instead.
 func Fig5(opts Options) (Fig5Result, error) {
 	tb := core.NewTestbed(opts.Scale, opts.Seed)
-	tb.Prewarm(simnet.Networks(), study.RatingProtocols())
+	tb.Prewarm(fig5Exp{}.Conditions())
+	return fig5Run(tb, opts)
+}
+
+// fig5Run runs the rating study for the µWorker group and performs the
+// paper's §4.4 analyses: per-cell 99% confidence intervals, the ANOVA
+// significance screen, and the per-website drill-down.
+func fig5Run(tb *core.Testbed, opts Options) (Fig5Result, error) {
 	conditions, err := tb.RatingConditions()
 	if err != nil {
 		return Fig5Result{}, err
@@ -221,3 +244,25 @@ func (r Fig5Result) Render(w io.Writer) {
 			d.Network, d.Site, d.Better, d.MeanBetter, d.Worse, d.MeanWorse, d.P)
 	}
 }
+
+// CSV writes the rating cells, one row per (environment, network, protocol).
+func (r Fig5Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"environment", "network", "protocol", "mean", "ci_lo", "ci_hi", "n"}); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		rec := []string{
+			c.Environment.String(), c.Network, c.Protocol,
+			fmtFloat(c.CI.Point), fmtFloat(c.CI.Lo), fmtFloat(c.CI.Hi), strconv.Itoa(c.N),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes the rating cells as indented JSON.
+func (r Fig5Result) JSON(w io.Writer) error { return writeJSON(w, r.Cells) }

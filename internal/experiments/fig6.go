@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/metrics"
@@ -26,14 +28,36 @@ type Fig6Result struct {
 	Cells []Fig6Cell
 }
 
-// Fig6 computes the paper's metric-vs-rating correlation: for every
+// fig6Exp is the registered "fig6" experiment.
+type fig6Exp struct{}
+
+func (fig6Exp) Name() string { return "fig6" }
+
+func (fig6Exp) Conditions() ([]simnet.NetworkConfig, []string) {
+	return simnet.Networks(), study.RatingProtocols()
+}
+
+func (fig6Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+	return fig6Run(tb, opts)
+}
+
+func init() { Register(fig6Exp{}) }
+
+// Fig6 computes the metric-vs-rating correlation on a private prewarmed
+// testbed. Batch callers use the registered experiment with a shared testbed
+// instead.
+func Fig6(opts Options) (Fig6Result, error) {
+	tb := core.NewTestbed(opts.Scale, opts.Seed)
+	tb.Prewarm(fig6Exp{}.Conditions())
+	return fig6Run(tb, opts)
+}
+
+// fig6Run computes the paper's metric-vs-rating correlation: for every
 // protocol and network, the per-site mean rating is correlated (Pearson)
 // against the typical video's technical metrics. For DSL/LTE the free-time
 // votes are used, for the in-flight networks the plane votes — exactly the
 // paper's choice.
-func Fig6(opts Options) (Fig6Result, error) {
-	tb := core.NewTestbed(opts.Scale, opts.Seed)
-	tb.Prewarm(simnet.Networks(), study.RatingProtocols())
+func fig6Run(tb *core.Testbed, opts Options) (Fig6Result, error) {
 	conditions, err := tb.RatingConditions()
 	if err != nil {
 		return Fig6Result{}, err
@@ -156,3 +180,23 @@ func (r Fig6Result) Render(w io.Writer) {
 	}
 	fmt.Fprintln(w)
 }
+
+// CSV writes the correlation heatmap, one row per cell.
+func (r Fig6Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"protocol", "network", "metric", "pearson_r", "sites"}); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		rec := []string{c.Protocol, c.Network, c.Metric,
+			fmtFloat(c.R), strconv.Itoa(c.Sites)}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes the heatmap cells as indented JSON.
+func (r Fig6Result) JSON(w io.Writer) error { return writeJSON(w, r.Cells) }

@@ -1,11 +1,15 @@
 package experiments
 
 import (
+	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 
 	"repro/internal/conformance"
+	"repro/internal/core"
 	"repro/internal/participant"
+	"repro/internal/simnet"
 	"repro/internal/study"
 )
 
@@ -13,6 +17,18 @@ import (
 type Table3Result struct {
 	Funnels []conformance.Funnel
 }
+
+// table3Exp is the registered "table3" experiment. The funnel is a pure
+// participant-population simulation: it records nothing on the testbed.
+type table3Exp struct{}
+
+func (table3Exp) Name() string                                   { return "table3" }
+func (table3Exp) Conditions() ([]simnet.NetworkConfig, []string) { return nil, nil }
+func (table3Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+	return Table3(opts.Seed), nil
+}
+
+func init() { Register(table3Exp{}) }
 
 // Table3 simulates the participant populations of all groups and studies,
 // applies R1–R7, and returns the participation funnel (Table 3).
@@ -46,6 +62,32 @@ func (r Table3Result) Render(w io.Writer) {
 		fmt.Fprintln(w, f.String())
 	}
 }
+
+// CSV writes the participation funnel, one row per (group, study).
+func (r Table3Result) CSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	header := []string{"group", "study", "start"}
+	for i := 1; i <= conformance.RuleCount; i++ {
+		header = append(header, fmt.Sprintf("after_r%d", i))
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, fu := range r.Funnels {
+		rec := []string{fu.Group.String(), fu.Kind.String(), strconv.Itoa(fu.Start)}
+		for _, a := range fu.After {
+			rec = append(rec, strconv.Itoa(a))
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// JSON writes the full result as indented JSON.
+func (r Table3Result) JSON(w io.Writer) error { return writeJSON(w, r) }
 
 // Funnel returns the funnel for a group and study kind.
 func (r Table3Result) Funnel(g study.Group, k conformance.StudyKind) (conformance.Funnel, bool) {

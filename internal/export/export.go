@@ -1,13 +1,18 @@
-// Package export serializes experiment results to CSV and JSON so the
+// Package export serializes raw simulation data to CSV and JSON so the
 // figures can be re-plotted outside Go (the paper's artifacts are plots;
 // this is the bridge from the harness's structured results to gnuplot /
 // matplotlib input).
+//
+// Per-experiment encoders moved behind the experiments.Result interface
+// (every result renders itself as text, CSV, or JSON); the FigNCSV/Table3CSV
+// functions here remain as deprecated shims. This package keeps the encoders
+// for raw material that is not an experiment result: visual-progress traces
+// and per-condition metric dumps.
 package export
 
 import (
 	"encoding/csv"
 	"encoding/json"
-	"fmt"
 	"io"
 	"strconv"
 
@@ -24,83 +29,26 @@ func WriteJSON(w io.Writer, v interface{}) error {
 }
 
 // Fig4CSV writes the A/B vote shares, one row per (network, pair).
-func Fig4CSV(w io.Writer, res experiments.Fig4Result) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"network", "pair_a", "pair_b", "share_a", "share_nodiff", "share_b", "avg_replays", "n"}); err != nil {
-		return err
-	}
-	for _, s := range res.Shares {
-		rec := []string{
-			s.Network, s.Pair.A, s.Pair.B,
-			f(s.ShareA), f(s.ShareNone), f(s.ShareB),
-			f(s.AvgReplays), strconv.Itoa(s.N),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
+//
+// Deprecated: per-experiment encoders live behind experiments.Result now;
+// call res.CSV directly. Kept as a shim for existing callers.
+func Fig4CSV(w io.Writer, res experiments.Fig4Result) error { return res.CSV(w) }
 
 // Fig5CSV writes the rating cells, one row per (environment, network,
 // protocol).
-func Fig5CSV(w io.Writer, res experiments.Fig5Result) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"environment", "network", "protocol", "mean", "ci_lo", "ci_hi", "n"}); err != nil {
-		return err
-	}
-	for _, c := range res.Cells {
-		rec := []string{
-			c.Environment.String(), c.Network, c.Protocol,
-			f(c.CI.Point), f(c.CI.Lo), f(c.CI.Hi), strconv.Itoa(c.N),
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
+//
+// Deprecated: call res.CSV directly.
+func Fig5CSV(w io.Writer, res experiments.Fig5Result) error { return res.CSV(w) }
 
 // Fig6CSV writes the correlation heatmap, one row per cell.
-func Fig6CSV(w io.Writer, res experiments.Fig6Result) error {
-	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"protocol", "network", "metric", "pearson_r", "sites"}); err != nil {
-		return err
-	}
-	for _, c := range res.Cells {
-		rec := []string{c.Protocol, c.Network, c.Metric, f(c.R), strconv.Itoa(c.Sites)}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
+//
+// Deprecated: call res.CSV directly.
+func Fig6CSV(w io.Writer, res experiments.Fig6Result) error { return res.CSV(w) }
 
 // Table3CSV writes the participation funnel.
-func Table3CSV(w io.Writer, res experiments.Table3Result) error {
-	cw := csv.NewWriter(w)
-	header := []string{"group", "study", "start"}
-	for i := 1; i <= 7; i++ {
-		header = append(header, fmt.Sprintf("after_r%d", i))
-	}
-	if err := cw.Write(header); err != nil {
-		return err
-	}
-	for _, fu := range res.Funnels {
-		rec := []string{fu.Group.String(), fu.Kind.String(), strconv.Itoa(fu.Start)}
-		for _, a := range fu.After {
-			rec = append(rec, strconv.Itoa(a))
-		}
-		if err := cw.Write(rec); err != nil {
-			return err
-		}
-	}
-	cw.Flush()
-	return cw.Error()
-}
+//
+// Deprecated: call res.CSV directly.
+func Table3CSV(w io.Writer, res experiments.Table3Result) error { return res.CSV(w) }
 
 // TraceCSV writes a visual-progress trace (one page-load "video") as
 // time/VC rows — the raw series behind a Fig. 1-style filmstrip.

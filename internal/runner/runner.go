@@ -1,0 +1,218 @@
+// Package runner executes a set of registered experiments against one shared
+// testbed. It merges the (network × protocol) condition grids declared by
+// every selected experiment into a single prewarm plan — so each condition
+// is recorded exactly once for the whole batch instead of once per
+// experiment — then runs the experiments on a bounded worker pool.
+//
+// Each experiment gets a deterministic seed derived from the master seed and
+// its name (core.DeriveSeed: FNV over the name XOR the master seed, the same
+// idiom the testbed uses for per-condition recording seeds), and renders
+// into its own buffer, so the batch output is byte-identical whether the
+// experiments run sequentially or in parallel.
+package runner
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/simnet"
+)
+
+// Format selects the encoding of every experiment's output.
+type Format string
+
+// The three encodings every experiments.Result supports.
+const (
+	Text Format = "text"
+	CSV  Format = "csv"
+	JSON Format = "json"
+)
+
+// Options configures a batch run.
+type Options struct {
+	Scale core.Scale
+	Seed  int64 // master seed; per-experiment seeds are derived from it
+	// Parallel bounds the number of experiments running concurrently.
+	// 0 means GOMAXPROCS; 1 runs sequentially.
+	Parallel int
+	// Format selects text (default), csv, or json output.
+	Format Format
+}
+
+// ExperimentReport is the outcome of one experiment in a batch.
+type ExperimentReport struct {
+	Name     string
+	Seed     int64 // the derived per-experiment seed
+	Output   []byte
+	Duration time.Duration
+	Err      error
+}
+
+// Report is the outcome of a whole batch.
+type Report struct {
+	Results []ExperimentReport // in the order the experiments were given
+	Format  Format             // the format the outputs were encoded in
+	Cache   core.CacheStats    // shared-testbed cache counters after the run
+	// Conditions is the size of the merged prewarm plan:
+	// sites × merged networks × merged protocols.
+	Conditions int
+	Prewarm    time.Duration
+	Total      time.Duration
+}
+
+// Err returns the first per-experiment error, if any.
+func (r Report) Err() error {
+	for _, res := range r.Results {
+		if res.Err != nil {
+			return fmt.Errorf("%s: %w", res.Name, res.Err)
+		}
+	}
+	return nil
+}
+
+// WriteOutputs concatenates every experiment's output to w. In text format
+// each output is framed by a qoebench-style timing line; for csv/json no
+// framing is emitted, so a single experiment's redirected output parses as
+// one document. A multi-experiment batch still concatenates one document per
+// experiment (distinct schemas per experiment rule out a single table) —
+// redirect machine formats one experiment at a time.
+func (r Report) WriteOutputs(w io.Writer) error {
+	for _, res := range r.Results {
+		if res.Err != nil {
+			return fmt.Errorf("%s: %w", res.Name, res.Err)
+		}
+		if _, err := w.Write(res.Output); err != nil {
+			return err
+		}
+		if r.Format != Text && r.Format != "" {
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "\n[%s done in %v]\n\n", res.Name, res.Duration.Round(time.Millisecond)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary is the one-line batch accounting printed after qoebench all.
+func (r Report) Summary() string {
+	return fmt.Sprintf("[%d experiments in %v; prewarm %v over %d conditions; cache: %d recorded, %d hits]",
+		len(r.Results), r.Total.Round(time.Millisecond), r.Prewarm.Round(time.Millisecond),
+		r.Conditions, r.Cache.Records, r.Cache.Hits)
+}
+
+// MergePlan unions the condition grids declared by the experiments:
+// networks deduplicated by name and protocols by value, both in first-seen
+// order so the plan (and therefore the prewarm job order) is deterministic.
+//
+// The merged plan is the cartesian product of the two unions. Today every
+// grid-declaring experiment spans the same simnet.Networks() set, so the
+// product equals the union of the per-experiment grids; if an experiment
+// ever declares a disjoint (network × protocol) grid, the product will
+// prewarm conditions no experiment uses, and this should switch to merging
+// per-experiment pair sets.
+func MergePlan(exps []experiments.Experiment) ([]simnet.NetworkConfig, []string) {
+	var nets []simnet.NetworkConfig
+	var prots []string
+	seenNet := map[string]bool{}
+	seenProt := map[string]bool{}
+	for _, e := range exps {
+		ns, ps := e.Conditions()
+		for _, n := range ns {
+			if !seenNet[n.Name] {
+				seenNet[n.Name] = true
+				nets = append(nets, n)
+			}
+		}
+		for _, p := range ps {
+			if !seenProt[p] {
+				seenProt[p] = true
+				prots = append(prots, p)
+			}
+		}
+	}
+	return nets, prots
+}
+
+// Run prewarms one shared testbed with the merged plan of all experiments,
+// then executes them on a worker pool. The returned report lists results in
+// input order regardless of completion order; a per-experiment failure is
+// recorded in its slot rather than aborting the batch.
+func Run(exps []experiments.Experiment, opts Options) Report {
+	start := time.Now()
+	tb := core.NewTestbed(opts.Scale, opts.Seed)
+
+	rep := Report{Format: opts.Format}
+	nets, prots := MergePlan(exps)
+	rep.Conditions = len(tb.Scale.Sites) * len(nets) * len(prots)
+	if rep.Conditions > 0 {
+		tb.Prewarm(nets, prots)
+	}
+	rep.Prewarm = time.Since(start)
+
+	workers := opts.Parallel
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(exps) {
+		workers = len(exps)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	rep.Results = make([]ExperimentReport, len(exps))
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep.Results[i] = runOne(tb, exps[i], opts)
+			}
+		}()
+	}
+	for i := range exps {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	rep.Cache = tb.Stats()
+	rep.Total = time.Since(start)
+	return rep
+}
+
+// runOne executes a single experiment with its derived seed and encodes the
+// result in the requested format.
+func runOne(tb *core.Testbed, e experiments.Experiment, opts Options) ExperimentReport {
+	out := ExperimentReport{Name: e.Name(), Seed: core.DeriveSeed(opts.Seed, e.Name())}
+	start := time.Now()
+	defer func() { out.Duration = time.Since(start) }()
+
+	res, err := e.Run(tb, experiments.Options{Scale: opts.Scale, Seed: out.Seed})
+	if err != nil {
+		out.Err = err
+		return out
+	}
+	var buf bytes.Buffer
+	switch opts.Format {
+	case CSV:
+		out.Err = res.CSV(&buf)
+	case JSON:
+		out.Err = res.JSON(&buf)
+	case Text, "":
+		res.Render(&buf)
+	default:
+		out.Err = fmt.Errorf("unknown format %q", opts.Format)
+	}
+	out.Output = buf.Bytes()
+	return out
+}

@@ -1,0 +1,175 @@
+package runner
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+)
+
+func tinyScale() core.Scale {
+	return core.Scale{Sites: core.QuickScale().Sites[:2], Reps: 2}
+}
+
+// outputs maps experiment name to its rendered bytes, failing on any
+// per-experiment error.
+func outputs(t *testing.T, rep Report) map[string]string {
+	t.Helper()
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := map[string]string{}
+	for _, res := range rep.Results {
+		out[res.Name] = string(res.Output)
+	}
+	return out
+}
+
+// TestParallelMatchesSequential: the whole batch must render byte-identically
+// whether experiments run one at a time or concurrently, and identically
+// across repeated runs with the same master seed — the runner extension of
+// the determinism promise in internal/experiments/determinism_test.go.
+func TestParallelMatchesSequential(t *testing.T) {
+	exps := experiments.All()
+	opts := Options{Scale: tinyScale(), Seed: 77, Parallel: 1}
+	seq := outputs(t, Run(exps, opts))
+
+	opts.Parallel = 8
+	par := outputs(t, Run(exps, opts))
+	rerun := outputs(t, Run(exps, opts))
+
+	if len(seq) != len(exps) {
+		t.Fatalf("results = %d, want %d", len(seq), len(exps))
+	}
+	for name, want := range seq {
+		if want == "" {
+			t.Fatalf("%s rendered empty output", name)
+		}
+		if par[name] != want {
+			t.Errorf("%s: parallel output differs from sequential", name)
+		}
+		if rerun[name] != want {
+			t.Errorf("%s: repeated run with same seed differs", name)
+		}
+	}
+}
+
+// TestEachConditionRecordedOnce: at quick scale, a full `all` batch must
+// record every (site × network × protocol) condition of the merged plan
+// exactly once — the shared-testbed guarantee, asserted via cache counters.
+func TestEachConditionRecordedOnce(t *testing.T) {
+	exps := experiments.All()
+	scale := core.QuickScale()
+	nets, prots := MergePlan(exps)
+	want := len(scale.Sites) * len(nets) * len(prots)
+
+	rep := Run(exps, Options{Scale: scale, Seed: 1})
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Conditions != want {
+		t.Fatalf("plan size = %d, want %d", rep.Conditions, want)
+	}
+	if int(rep.Cache.Records) != want {
+		t.Fatalf("recorded %d conditions, want exactly %d (one per condition)", rep.Cache.Records, want)
+	}
+	if rep.Cache.Hits == 0 {
+		t.Fatal("experiments should have hit the shared cache")
+	}
+}
+
+// TestMergePlan: networks dedup by name and protocols by value, first-seen
+// order preserved, condition-free experiments contribute nothing.
+func TestMergePlan(t *testing.T) {
+	all := experiments.All()
+	nets, prots := MergePlan(all)
+	if len(nets) != 4 {
+		t.Fatalf("merged networks = %d, want 4", len(nets))
+	}
+	if len(prots) != 5 {
+		t.Fatalf("merged protocols = %d, want 5", len(prots))
+	}
+	seen := map[string]bool{}
+	for _, n := range nets {
+		if seen[n.Name] {
+			t.Fatalf("duplicate network %s in merged plan", n.Name)
+		}
+		seen[n.Name] = true
+	}
+	for _, p := range prots {
+		if seen[p] {
+			t.Fatalf("duplicate protocol %s in merged plan", p)
+		}
+		seen[p] = true
+	}
+	table1, _ := experiments.Lookup("table1")
+	if nets, prots := MergePlan([]experiments.Experiment{table1}); len(nets) != 0 || len(prots) != 0 {
+		t.Fatal("table1 should declare no conditions")
+	}
+}
+
+// TestAllFormats: every registered experiment must encode as CSV and JSON
+// through the runner (the uniform -format contract of cmd/qoebench).
+func TestAllFormats(t *testing.T) {
+	for _, format := range []Format{CSV, JSON} {
+		rep := Run(experiments.All(), Options{Scale: tinyScale(), Seed: 3, Format: format})
+		if err := rep.Err(); err != nil {
+			t.Fatalf("%s: %v", format, err)
+		}
+		for _, res := range rep.Results {
+			if len(res.Output) == 0 {
+				t.Errorf("%s: %s produced no output", format, res.Name)
+			}
+		}
+	}
+}
+
+// TestDerivedSeedsDiffer: experiments in one batch must not share a seed,
+// and an experiment's output must not depend on which other experiments run
+// alongside it.
+func TestDerivedSeedsDiffer(t *testing.T) {
+	exps := experiments.All()
+	rep := Run(exps, Options{Scale: tinyScale(), Seed: 5})
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	seeds := map[int64]string{}
+	for _, res := range rep.Results {
+		if prev, dup := seeds[res.Seed]; dup {
+			t.Fatalf("seed collision between %s and %s", prev, res.Name)
+		}
+		seeds[res.Seed] = res.Name
+		if res.Seed != core.DeriveSeed(5, res.Name) {
+			t.Fatalf("%s seed = %d, want DeriveSeed(5, name)", res.Name, res.Seed)
+		}
+	}
+	// fig5 alone matches fig5 within the batch.
+	fig5, _ := experiments.Lookup("fig5")
+	solo := Run([]experiments.Experiment{fig5}, Options{Scale: tinyScale(), Seed: 5})
+	if err := solo.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var inBatch []byte
+	for _, res := range rep.Results {
+		if res.Name == "fig5" {
+			inBatch = res.Output
+		}
+	}
+	if !bytes.Equal(solo.Results[0].Output, inBatch) {
+		t.Fatal("fig5 output depends on the batch composition")
+	}
+}
+
+// TestReportSummary: the summary line carries the cache accounting.
+func TestReportSummary(t *testing.T) {
+	table1, _ := experiments.Lookup("table1")
+	rep := Run([]experiments.Experiment{table1}, Options{Scale: tinyScale(), Seed: 1})
+	var buf bytes.Buffer
+	if err := rep.WriteOutputs(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 || rep.Summary() == "" {
+		t.Fatal("empty outputs or summary")
+	}
+}
