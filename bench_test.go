@@ -154,6 +154,24 @@ func BenchmarkAblationHOL(b *testing.B) {
 	}
 }
 
+// BenchmarkPopRatingExperiment runs the full pop-rating pipeline (scenario
+// prewarm at bench scale + a 120k-participant, million-vote streamed rating
+// study) through the registry, the configuration of the PR 2 acceptance
+// criterion.
+func BenchmarkPopRatingExperiment(b *testing.B) {
+	e, ok := experiments.Lookup("pop-rating")
+	if !ok {
+		b.Fatal("pop-rating not registered")
+	}
+	for i := 0; i < b.N; i++ {
+		tb := core.NewTestbed(benchScale(), 9)
+		tb.Prewarm(e.Conditions())
+		if _, err := e.Run(tb, experiments.Options{Scale: benchScale(), Seed: 9}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // ---- substrate micro-benchmarks ----
 
 // BenchmarkSimnetLink measures raw event-loop + link throughput.

@@ -25,6 +25,15 @@
 // per-experiment seeds — so `qoebench all` does the transport/browser
 // simulation work once, not once per experiment.
 //
+// Beyond the paper's grid, internal/simnet carries a named scenario library
+// (fast-fiber, congested-wifi, lossy-satellite, throttled-3g) and
+// internal/population a sharded population-scale study engine: the pop-*
+// experiments stream over a million synthetic votes per run through online
+// aggregators (internal/stats: Welford, streaming histograms, Wilson
+// binomial counters) with memory bounded by the stimulus grid, answering
+// the paper's "would this hold at scale?" question. Golden-file tests under
+// testdata/golden pin every experiment's quick-scale output byte-for-byte.
+//
 // See DESIGN.md for the substitution ledger (what the paper's hardware and
 // human apparatus was replaced with, and why that preserves behaviour) and
 // EXPERIMENTS.md for how to regenerate the paper's artifacts via qoebench.

@@ -1,0 +1,62 @@
+package repro_test
+
+// Smoke test for the runnable API tours: every examples/* binary must build
+// and run to completion with non-empty output. Examples are the first code
+// a reader executes; this keeps them from rotting as internal APIs move.
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestExamplesBuildAndRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs every example binary")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) == 0 {
+		t.Fatal("no examples found")
+	}
+	bindir := t.TempDir()
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			bin := filepath.Join(bindir, name)
+			build := exec.Command("go", "build", "-o", bin, "./"+filepath.Join("examples", name))
+			if out, err := build.CombinedOutput(); err != nil {
+				t.Fatalf("build failed: %v\n%s", err, out)
+			}
+			cmd := exec.Command(bin)
+			var stdout, stderr bytes.Buffer
+			cmd.Stdout = &stdout
+			cmd.Stderr = &stderr
+			done := make(chan error, 1)
+			if err := cmd.Start(); err != nil {
+				t.Fatal(err)
+			}
+			go func() { done <- cmd.Wait() }()
+			select {
+			case err := <-done:
+				if err != nil {
+					t.Fatalf("run failed: %v\nstderr:\n%s", err, stderr.String())
+				}
+			case <-time.After(3 * time.Minute):
+				cmd.Process.Kill()
+				t.Fatalf("example did not finish within 3 minutes")
+			}
+			if stdout.Len() == 0 {
+				t.Fatal("example produced no output")
+			}
+		})
+	}
+}

@@ -1,0 +1,104 @@
+package repro_test
+
+// Golden-file regression tests: every registered experiment's text and CSV
+// output at `-scale quick -seed 1` is pinned byte-for-byte under
+// testdata/golden/. Any change to the simulation, the statistics, or the
+// renderers that shifts a paper artifact shows up as a golden diff instead
+// of slipping through. Regenerate intentionally with:
+//
+//	go test -run TestGoldenOutputs -update
+//
+// and review the diff like any other code change.
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata/golden files with current output")
+
+const goldenSeed = 1
+
+// goldenDir is where the pinned outputs live.
+const goldenDir = "testdata/golden"
+
+// TestGoldenOutputs runs every registered experiment exactly as `qoebench
+// -scale quick -seed 1 all` would (one shared testbed, merged prewarm,
+// per-experiment derived seeds) and diffs text and CSV output against the
+// committed goldens.
+func TestGoldenOutputs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full registry run")
+	}
+	exps := experiments.All()
+	scale := core.QuickScale()
+	tb := core.NewTestbed(scale, goldenSeed)
+	nets, prots := runner.MergePlan(exps)
+	if len(nets) > 0 && len(prots) > 0 {
+		tb.Prewarm(nets, prots)
+	}
+
+	for _, e := range exps {
+		e := e
+		t.Run(e.Name(), func(t *testing.T) {
+			opts := experiments.Options{Scale: scale, Seed: core.DeriveSeed(goldenSeed, e.Name())}
+			res, err := e.Run(tb, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var text, csv bytes.Buffer
+			res.Render(&text)
+			if err := res.CSV(&csv); err != nil {
+				t.Fatal(err)
+			}
+			checkGolden(t, e.Name()+".txt", text.Bytes())
+			checkGolden(t, e.Name()+".csv", csv.Bytes())
+		})
+	}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join(goldenDir, name)
+	if *update {
+		if err := os.MkdirAll(goldenDir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden %s (run `go test -run TestGoldenOutputs -update`): %v", path, err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s drifted from golden (%d vs %d bytes).\n%s\nIf the change is intentional, regenerate with -update and review the diff.",
+			name, len(got), len(want), firstDiff(got, want))
+	}
+}
+
+// firstDiff points at the first diverging line for a readable failure.
+func firstDiff(got, want []byte) string {
+	gl := bytes.Split(got, []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return fmt.Sprintf("first diff at line %d:\n got: %s\nwant: %s", i+1, gl[i], wl[i])
+		}
+	}
+	return fmt.Sprintf("outputs agree on the first %d lines; lengths differ", n)
+}

@@ -137,6 +137,69 @@ func (f Funnel) String() string {
 	return s
 }
 
+// FirstViolation returns the 0-based index of the first rule the session
+// violates, or RuleCount when it conforms. Filtering by first violation is
+// equivalent to applying R1..R7 in order.
+func (s *Session) FirstViolation() int {
+	for r := 0; r < RuleCount; r++ {
+		if s.violates(r) {
+			return r
+		}
+	}
+	return RuleCount
+}
+
+// StreamFunnel accumulates the Table 3 funnel one session at a time in O(1)
+// memory — the population-scale counterpart of Filter, which must hold every
+// session. Shards accumulate independently and merge.
+type StreamFunnel struct {
+	Group study.Group
+	Kind  StudyKind
+	start int
+	// firstViol[r] counts sessions whose first violated rule is r;
+	// firstViol[RuleCount] counts conforming sessions.
+	firstViol [RuleCount + 1]int
+}
+
+// Observe folds one session in and reports whether it conforms.
+func (f *StreamFunnel) Observe(s *Session) bool {
+	if f.start == 0 {
+		f.Group = s.Group
+		f.Kind = s.Kind
+	}
+	f.start++
+	r := s.FirstViolation()
+	f.firstViol[r]++
+	return r == RuleCount
+}
+
+// Merge adds another accumulator's counts.
+func (f *StreamFunnel) Merge(o StreamFunnel) {
+	if o.start == 0 {
+		return
+	}
+	if f.start == 0 {
+		f.Group = o.Group
+		f.Kind = o.Kind
+	}
+	f.start += o.start
+	for i, c := range o.firstViol {
+		f.firstViol[i] += c
+	}
+}
+
+// Funnel materializes the Table 3 row: survivors after rule i are the
+// sessions whose first violation lies beyond i.
+func (f *StreamFunnel) Funnel() Funnel {
+	out := Funnel{Group: f.Group, Kind: f.Kind, Start: f.start}
+	dropped := 0
+	for r := 0; r < RuleCount; r++ {
+		dropped += f.firstViol[r]
+		out.After[r] = f.start - dropped
+	}
+	return out
+}
+
 // Filter applies R1..R7 in order and returns the surviving sessions plus
 // the funnel counts.
 func Filter(sessions []*Session) ([]*Session, Funnel) {

@@ -1,0 +1,77 @@
+package conformance
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/study"
+)
+
+// randomSession fabricates a session with independent random violations of
+// every rule, covering all funnel paths.
+func randomSession(rng *rand.Rand) *Session {
+	s := &Session{
+		Group:           study.Microworker,
+		Kind:            Rating,
+		AllVideosPlayed: rng.Float64() > 0.05,
+		AnyVideoStalled: rng.Float64() < 0.1,
+		ControlVideoOK:  rng.Float64() > 0.08,
+		ControlAnswerOK: rng.Float64() > 0.06,
+		MaxFocusLoss:    time.Duration(rng.Float64() * float64(20*time.Second)),
+		VotedBeforeFVC:  rng.Float64() < 0.2,
+		TotalDuration:   time.Duration(5+rng.Intn(30)) * time.Minute,
+		MaxQuestionTime: time.Duration(rng.Float64() * float64(3*time.Minute)),
+	}
+	return s
+}
+
+// TestStreamFunnelMatchesFilter: the O(1)-memory streaming funnel must
+// reproduce Filter's Table 3 row exactly, including the conforming count,
+// whether accumulated whole or sharded and merged.
+func TestStreamFunnelMatchesFilter(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	sessions := make([]*Session, 5_000)
+	for i := range sessions {
+		sessions[i] = randomSession(rng)
+	}
+	kept, want := Filter(sessions)
+
+	var whole StreamFunnel
+	conforming := 0
+	var shards [7]StreamFunnel
+	for i, s := range sessions {
+		if whole.Observe(s) {
+			conforming++
+		}
+		shards[i%len(shards)].Observe(s)
+	}
+	if got := whole.Funnel(); got != want {
+		t.Fatalf("stream funnel %v, want %v", got, want)
+	}
+	if conforming != len(kept) {
+		t.Fatalf("conforming %d, want %d", conforming, len(kept))
+	}
+
+	var merged StreamFunnel
+	for _, sh := range shards {
+		merged.Merge(sh)
+	}
+	if got := merged.Funnel(); got != want {
+		t.Fatalf("merged funnel %v, want %v", got, want)
+	}
+}
+
+// TestFirstViolationMatchesRules: FirstViolation agrees with the per-rule
+// predicate order.
+func TestFirstViolationMatchesRules(t *testing.T) {
+	s := goodSession()
+	if s.FirstViolation() != RuleCount {
+		t.Fatalf("good session violates rule %d", s.FirstViolation())
+	}
+	s.AnyVideoStalled = true // rule index 1
+	s.ControlAnswerOK = false
+	if got := s.FirstViolation(); got != 1 {
+		t.Fatalf("first violation %d, want 1", got)
+	}
+}

@@ -1,0 +1,114 @@
+package congestion
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestPropertyCwndNeverBelowFloor drives both controllers through long
+// random event sequences (acks, losses, RTOs, idle restarts in arbitrary
+// interleavings) and asserts the window invariants: the congestion window
+// never drops below one segment, and loss recovery never leaves Cubic below
+// its two-segment floor except via the RTO collapse to exactly one segment.
+func TestPropertyCwndNeverBelowFloor(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		for _, algo := range []string{"cubic", "bbr"} {
+			rng := rand.New(rand.NewSource(seed))
+			cfg := Config{InitialWindowSegments: []int{0, 2, 10, 32}[rng.Intn(4)], MSS: DefaultMSS}
+			cc := New(algo, cfg)
+			mss := cfg.mss()
+			now := time.Duration(0)
+			lastWasRTO := false
+			for step := 0; step < 3_000; step++ {
+				now += time.Duration(rng.Intn(50)+1) * time.Millisecond
+				inFlight := rng.Intn(cc.CWND() + 1)
+				switch rng.Intn(10) {
+				case 0:
+					cc.OnLoss(now, mss, inFlight)
+					lastWasRTO = false
+				case 1:
+					cc.OnRTO(now)
+					lastWasRTO = true
+				case 2:
+					cc.OnIdleRestart(now)
+				case 3:
+					cc.OnPacketSent(now, inFlight, mss)
+				default:
+					rtt := time.Duration(rng.Intn(300)+5) * time.Millisecond
+					bw := rng.Float64() * 3e6
+					cc.OnAck(now, mss, rtt, bw, inFlight)
+					lastWasRTO = false
+				}
+				w := cc.CWND()
+				if w < mss {
+					t.Fatalf("%s seed=%d step=%d: cwnd %d fell below one MSS (%d)", algo, seed, step, w, mss)
+				}
+				if algo == "cubic" && !lastWasRTO && w < 2*mss {
+					t.Fatalf("cubic seed=%d step=%d: cwnd %d below the 2-MSS loss floor without an RTO", seed, step, w)
+				}
+				if rate := cc.PacingRate(); rate < 0 {
+					t.Fatalf("%s seed=%d step=%d: negative pacing rate %f", algo, seed, step, rate)
+				}
+			}
+		}
+	}
+}
+
+// TestPropertyPacerRespectsRate: a sender that always waits out
+// NextSendDelay can never push more than the initial burst quantum plus the
+// token accrual rate*t onto the wire in any prefix [0, t] — i.e. the pacer
+// never emits bursts above the configured rate beyond its documented quanta.
+func TestPropertyPacerRespectsRate(t *testing.T) {
+	for seed := int64(1); seed <= 15; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		mss := DefaultMSS
+		p := NewPacer(mss)
+		rate := (0.5 + rng.Float64()*9.5) * 1e6 / 8 // 0.5..10 Mbps in bytes/sec
+		now := time.Duration(0)
+		sent := 0
+		// budget allows the initial burst quantum plus token accrual at the
+		// configured rate; sends is used to cover the <1 ns truncation of
+		// each quoted delay, which undershoots the wait by at most one
+		// nanosecond of tokens per send.
+		budget := func(at time.Duration, sends int) float64 {
+			return float64(10*mss) + rate*at.Seconds() + rate*float64(sends)*1e-9 + 1
+		}
+		for i := 0; i < 2_000; i++ {
+			size := mss
+			if rng.Intn(4) == 0 {
+				size = 40 + rng.Intn(mss-40) // partial segments too
+			}
+			// Random think time between sends.
+			if rng.Intn(3) == 0 {
+				now += time.Duration(rng.Intn(2_000)) * time.Microsecond
+			}
+			if d := p.NextSendDelay(now, size, rate); d > 0 {
+				now += d
+			}
+			p.OnSent(now, size, rate)
+			sent += size
+			if float64(sent) > budget(now, i+1) {
+				t.Fatalf("seed=%d send %d: %d bytes by %v exceeds pacing budget %.0f",
+					seed, i, sent, now, budget(now, i+1))
+			}
+		}
+	}
+}
+
+// TestPropertyPacerDelayIsSufficient: the delay NextSendDelay quotes is
+// exactly enough — after waiting it, the packet sends with zero residual
+// delay (no over- or under-throttling drift).
+func TestPropertyPacerDelayIsSufficient(t *testing.T) {
+	p := NewPacer(DefaultMSS)
+	rate := 2e6 / 8.0
+	now := time.Duration(0)
+	for i := 0; i < 500; i++ {
+		d := p.NextSendDelay(now, DefaultMSS, rate)
+		now += d
+		if again := p.NextSendDelay(now, DefaultMSS, rate); again > 0 {
+			t.Fatalf("send %d: residual delay %v after waiting the quoted %v", i, again, d)
+		}
+		p.OnSent(now, DefaultMSS, rate)
+	}
+}

@@ -1,0 +1,66 @@
+package population
+
+import (
+	"runtime"
+	"testing"
+
+	"repro/internal/study"
+)
+
+// benchVotes counts votes per op so ns/vote can be derived from the
+// reported ns/op.
+const benchParticipants = 25_000
+
+// BenchmarkRunABSequential measures the A/B engine pinned to one worker:
+// the per-vote cost of the psychometric model plus streaming aggregation.
+func BenchmarkRunABSequential(b *testing.B) {
+	benchRunAB(b, 1)
+}
+
+// BenchmarkRunABParallel is the same population on all cores — the speedup
+// over Sequential is the sharding payoff.
+func BenchmarkRunABParallel(b *testing.B) {
+	benchRunAB(b, runtime.GOMAXPROCS(0))
+}
+
+func benchRunAB(b *testing.B, workers int) {
+	b.ReportAllocs()
+	cells := testABCells()
+	cfg := Config{
+		Group:        study.Microworker,
+		Participants: benchParticipants,
+		Seed:         1,
+		Workers:      workers,
+		Conformance:  true,
+	}
+	var votes int64
+	for i := 0; i < b.N; i++ {
+		res, err := RunAB(cells, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		votes = res.Votes
+	}
+	b.ReportMetric(float64(votes), "votes/op")
+}
+
+// BenchmarkRunRatingParallel measures the rating engine on all cores.
+func BenchmarkRunRatingParallel(b *testing.B) {
+	b.ReportAllocs()
+	cells := testRatingCells()
+	cfg := Config{
+		Group:        study.Microworker,
+		Participants: benchParticipants,
+		Seed:         1,
+		Conformance:  true,
+	}
+	var votes int64
+	for i := 0; i < b.N; i++ {
+		res, err := RunRating(cells, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		votes = res.Votes
+	}
+	b.ReportMetric(float64(votes), "votes/op")
+}

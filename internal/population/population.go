@@ -1,0 +1,472 @@
+// Package population is the population-scale study engine: it simulates
+// arbitrarily large synthetic participant populations performing the paper's
+// two study designs (A/B "do users notice?" and single-video rating "do
+// users care?") and streams every vote through online aggregators, so that
+// a million-vote run uses memory proportional to the number of stimulus
+// cells, not to the population.
+//
+// The engine shards the population: shard i draws all of its randomness from
+// core.DeriveSeed(seed, "pop-shard/i"), accumulates its own per-cell
+// aggregates (stats.Welford, stats.StreamHist, stats.Binomial, and a
+// streaming conformance funnel), and the shard aggregates are merged in
+// shard order after all shards finish. Because neither the per-shard vote
+// streams nor the merge order depend on scheduling, a run's result is
+// byte-identical for any worker count — the same contract internal/runner
+// makes across experiments, pushed down to the single-experiment scale the
+// ROADMAP's "millions of users" north star needs.
+package population
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/conformance"
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/participant"
+	"repro/internal/stats"
+	"repro/internal/study"
+)
+
+// ABCell is one A/B stimulus: two page-load reports shown side by side.
+type ABCell struct {
+	Label string // e.g. "QUIC vs. TCP | congested-wifi | etsy.com"
+	Left  metrics.Report
+	Right metrics.Report
+	// AOnLeft records which side carries the supposedly faster variant, so
+	// per-cell tallies can be folded back into A-vs-B shares.
+	AOnLeft bool
+}
+
+// RatingCell is one rating stimulus: a single page-load report rated under
+// an environment framing.
+type RatingCell struct {
+	Label string
+	Rep   metrics.Report
+	Env   study.Environment
+}
+
+// Config parameterizes one population run.
+type Config struct {
+	// Group selects the participant model (noise levels, misbehaviour
+	// rates). Defaults to the µWorker crowd, the paper's volume population.
+	Group study.Group
+	// Participants is the synthetic population size (pre-filter).
+	Participants int
+	// VotesPerParticipant bounds the stimuli one participant sees. 0 uses
+	// the group's session plan (ABVideos for A/B, the per-environment
+	// rating counts for rating).
+	VotesPerParticipant int
+	// Shards splits the population into independently seeded slices. For a
+	// fixed Shards value the result is byte-identical at any Workers
+	// setting; changing Shards moves shard seed boundaries and therefore
+	// legitimately changes the drawn population. The default (64) keeps
+	// per-shard aggregate memory trivial while leaving a worker pool
+	// enough parallelism.
+	Shards int
+	// Workers bounds concurrent shards: 0 = GOMAXPROCS, 1 = sequential.
+	Workers int
+	// Seed is the master seed; per-shard seeds derive from it.
+	Seed int64
+	// Conformance applies the paper's R1–R7 filter to the synthetic
+	// population (misbehaving participants contribute no votes) and
+	// accumulates the Table 3 funnel in O(1) memory.
+	Conformance bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.Participants <= 0 {
+		c.Participants = 10_000
+	}
+	if c.Shards <= 0 {
+		c.Shards = 64
+	}
+	if c.Shards > c.Participants {
+		c.Shards = c.Participants
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Workers > c.Shards {
+		c.Workers = c.Shards
+	}
+	return c
+}
+
+// ABCellStats is the streamed aggregate of one A/B cell.
+type ABCellStats struct {
+	Label string
+	// VotesA counts votes for the supposedly faster variant (side-folded).
+	VotesA, VotesB, VotesNone int64
+	// Confidence and Replays stream the 1..5 confidence answers and replay
+	// counts.
+	Confidence stats.Welford
+	Replays    stats.Welford
+}
+
+// Noticed derives the notice-share counter from the vote tallies: every
+// vote other than "no difference" counts as noticed, so the Wilson CI can
+// never drift from the printed shares.
+func (c *ABCellStats) Noticed() stats.Binomial {
+	var b stats.Binomial
+	b.AddCounts(c.VotesA+c.VotesB, c.N())
+	return b
+}
+
+// N returns the number of votes aggregated into the cell.
+func (c *ABCellStats) N() int64 { return c.VotesA + c.VotesB + c.VotesNone }
+
+// ShareA returns the vote share of the supposedly faster variant.
+func (c *ABCellStats) ShareA() float64 {
+	if n := c.N(); n > 0 {
+		return float64(c.VotesA) / float64(n)
+	}
+	return 0
+}
+
+// ShareNone returns the "no difference" share.
+func (c *ABCellStats) ShareNone() float64 {
+	if n := c.N(); n > 0 {
+		return float64(c.VotesNone) / float64(n)
+	}
+	return 0
+}
+
+// ShareB returns the vote share of the supposedly slower variant.
+func (c *ABCellStats) ShareB() float64 {
+	if n := c.N(); n > 0 {
+		return float64(c.VotesB) / float64(n)
+	}
+	return 0
+}
+
+// Merge folds another cell's aggregates in (fixed call order keeps merges
+// deterministic).
+func (c *ABCellStats) Merge(o *ABCellStats) {
+	c.VotesA += o.VotesA
+	c.VotesB += o.VotesB
+	c.VotesNone += o.VotesNone
+	c.Confidence.Merge(o.Confidence)
+	c.Replays.Merge(o.Replays)
+}
+
+// ratingHistBins gives granularity-1 bins over the 10..70 scale.
+const ratingHistBins = study.RatingMax - study.RatingMin
+
+// RatingCellStats is the streamed aggregate of one rating cell.
+type RatingCellStats struct {
+	Label string
+	Env   study.Environment
+	// Speed and Quality stream the two questionnaire answers.
+	Speed   stats.Welford
+	Quality stats.Welford
+	// Hist streams the speed votes for median/tail quantiles.
+	Hist *stats.StreamHist
+}
+
+// NewRatingCellStats returns an empty aggregate whose histogram is
+// compatible with the ones RunRating produces — use it wherever cells are
+// merged outside this package (StreamHist.Merge panics on a bin mismatch).
+func NewRatingCellStats(label string, env study.Environment) RatingCellStats {
+	return RatingCellStats{
+		Label: label, Env: env,
+		Hist: stats.NewStreamHist(study.RatingMin, study.RatingMax, ratingHistBins),
+	}
+}
+
+// Merge folds another cell's aggregates in.
+func (c *RatingCellStats) Merge(o *RatingCellStats) {
+	c.Speed.Merge(o.Speed)
+	c.Quality.Merge(o.Quality)
+	c.Hist.Merge(o.Hist)
+}
+
+// ABResult is a completed A/B population run.
+type ABResult struct {
+	Cells        []ABCellStats // index-aligned with the input cells
+	Participants int           // pre-filter population
+	Kept         int64         // participants who survived conformance
+	Votes        int64
+	Funnel       conformance.Funnel // zero unless cfg.Conformance
+	Shards       int
+}
+
+// RatingResult is a completed rating population run.
+type RatingResult struct {
+	Cells        []RatingCellStats
+	Participants int
+	Kept         int64
+	Votes        int64
+	Funnel       conformance.Funnel
+	Shards       int
+}
+
+// shardSeed derives shard i's independent seed.
+func shardSeed(master int64, shard int) int64 {
+	return core.DeriveSeed(master, fmt.Sprintf("pop-shard/%d", shard))
+}
+
+// shardRange returns the half-open participant range of shard i when total
+// participants are split as evenly as possible over shards.
+func shardRange(total, shards, i int) (lo, hi int) {
+	base := total / shards
+	rem := total % shards
+	lo = i*base + min(i, rem)
+	hi = lo + base
+	if i < rem {
+		hi++
+	}
+	return lo, hi
+}
+
+// drawDistinct writes k distinct values from [0, n) into dst (which must
+// have capacity n) via a partial Fisher-Yates shuffle, and returns dst[:k].
+func drawDistinct(rng *rand.Rand, dst []int, n, k int) []int {
+	dst = dst[:n]
+	for i := range dst {
+		dst[i] = i
+	}
+	if k > n {
+		k = n
+	}
+	for i := 0; i < k; i++ {
+		j := i + rng.Intn(n-i)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+	return dst[:k]
+}
+
+// runShards executes fn for every shard index on a bounded worker pool.
+// fn must be pure per shard; results are consumed afterwards in shard order.
+func runShards(shards, workers int, fn func(shard int)) {
+	if workers <= 1 {
+		for i := 0; i < shards; i++ {
+			fn(i)
+		}
+		return
+	}
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < shards; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+}
+
+// abShard holds one shard's private aggregates.
+type abShard struct {
+	cells  []ABCellStats
+	funnel conformance.StreamFunnel
+	kept   int64
+	votes  int64
+}
+
+// RunAB simulates the A/B study over the cells.
+func RunAB(cells []ABCell, cfg Config) (ABResult, error) {
+	if len(cells) == 0 {
+		return ABResult{}, fmt.Errorf("population: no A/B cells")
+	}
+	cfg = cfg.withDefaults()
+	votesPer := cfg.VotesPerParticipant
+	if votesPer <= 0 {
+		votesPer = study.PlanFor(cfg.Group).ABVideos
+	}
+
+	shards := make([]abShard, cfg.Shards)
+	runShards(cfg.Shards, cfg.Workers, func(si int) {
+		sh := &shards[si]
+		sh.cells = make([]ABCellStats, len(cells))
+		rng := rand.New(rand.NewSource(shardSeed(cfg.Seed, si)))
+		scratch := make([]int, len(cells))
+		lo, hi := shardRange(cfg.Participants, cfg.Shards, si)
+		for p := lo; p < hi; p++ {
+			if cfg.Conformance {
+				s := participant.Behaviour(cfg.Group, conformance.AB, rng)
+				if !sh.funnel.Observe(s) {
+					continue
+				}
+			}
+			sh.kept++
+			m := participant.New(cfg.Group, rng)
+			for _, ci := range drawDistinct(rng, scratch, len(cells), votesPer) {
+				cell := &cells[ci]
+				vote, confidence, replays := m.ABVote(cell.Left, cell.Right)
+				st := &sh.cells[ci]
+				sh.votes++
+				st.Confidence.Add(float64(confidence))
+				st.Replays.Add(float64(replays))
+				switch vote {
+				case study.VoteNoDifference:
+					st.VotesNone++
+				case study.VoteLeft:
+					if cell.AOnLeft {
+						st.VotesA++
+					} else {
+						st.VotesB++
+					}
+				case study.VoteRight:
+					if cell.AOnLeft {
+						st.VotesB++
+					} else {
+						st.VotesA++
+					}
+				}
+			}
+		}
+	})
+
+	res := ABResult{
+		Cells:        make([]ABCellStats, len(cells)),
+		Participants: cfg.Participants,
+		Shards:       cfg.Shards,
+	}
+	for i, cell := range cells {
+		res.Cells[i].Label = cell.Label
+	}
+	var funnel conformance.StreamFunnel
+	for si := range shards {
+		sh := &shards[si]
+		for i := range res.Cells {
+			res.Cells[i].Merge(&sh.cells[i])
+		}
+		funnel.Merge(sh.funnel)
+		res.Kept += sh.kept
+		res.Votes += sh.votes
+	}
+	if cfg.Conformance {
+		res.Funnel = funnel.Funnel()
+	}
+	return res, nil
+}
+
+// ratingShard holds one shard's private aggregates.
+type ratingShard struct {
+	cells  []RatingCellStats
+	funnel conformance.StreamFunnel
+	kept   int64
+	votes  int64
+}
+
+// RunRating simulates the rating study over the cells. Participants rate
+// their session plan's number of videos per environment (or
+// VotesPerParticipant spread over the environments that have cells), drawn
+// from that environment's cells.
+func RunRating(cells []RatingCell, cfg Config) (RatingResult, error) {
+	if len(cells) == 0 {
+		return RatingResult{}, fmt.Errorf("population: no rating cells")
+	}
+	cfg = cfg.withDefaults()
+
+	// Environment-local cell indices, in fixed environment order.
+	byEnv := map[study.Environment][]int{}
+	for i, c := range cells {
+		byEnv[c.Env] = append(byEnv[c.Env], i)
+	}
+	plan := study.PlanFor(cfg.Group)
+	perEnv := map[study.Environment]int{
+		study.AtWork:   plan.RatingWork,
+		study.FreeTime: plan.RatingFree,
+		study.OnPlane:  plan.RatingPlane,
+	}
+	if cfg.VotesPerParticipant > 0 {
+		// Split the budget over the populated environments in fixed order,
+		// spreading the remainder, so the per-participant total never
+		// exceeds VotesPerParticipant.
+		populated := 0
+		for _, env := range study.Environments() {
+			if len(byEnv[env]) > 0 {
+				populated++
+			}
+		}
+		base, rem := cfg.VotesPerParticipant/populated, cfg.VotesPerParticipant%populated
+		for _, env := range study.Environments() {
+			if len(byEnv[env]) == 0 {
+				perEnv[env] = 0
+				continue
+			}
+			perEnv[env] = base
+			if rem > 0 {
+				perEnv[env]++
+				rem--
+			}
+		}
+	}
+	maxEnvCells := 0
+	for _, idxs := range byEnv {
+		if len(idxs) > maxEnvCells {
+			maxEnvCells = len(idxs)
+		}
+	}
+
+	shards := make([]ratingShard, cfg.Shards)
+	runShards(cfg.Shards, cfg.Workers, func(si int) {
+		sh := &shards[si]
+		sh.cells = make([]RatingCellStats, len(cells))
+		for i, c := range cells {
+			sh.cells[i] = NewRatingCellStats(c.Label, c.Env)
+		}
+		rng := rand.New(rand.NewSource(shardSeed(cfg.Seed, si)))
+		scratch := make([]int, maxEnvCells)
+		lo, hi := shardRange(cfg.Participants, cfg.Shards, si)
+		for p := lo; p < hi; p++ {
+			if cfg.Conformance {
+				s := participant.Behaviour(cfg.Group, conformance.Rating, rng)
+				if !sh.funnel.Observe(s) {
+					continue
+				}
+			}
+			sh.kept++
+			m := participant.New(cfg.Group, rng)
+			for _, env := range study.Environments() { // fixed order: determinism
+				idxs := byEnv[env]
+				if len(idxs) == 0 {
+					continue
+				}
+				for _, pick := range drawDistinct(rng, scratch, len(idxs), perEnv[env]) {
+					ci := idxs[pick]
+					speed, quality := m.Rate(cells[ci].Rep, env)
+					st := &sh.cells[ci]
+					sh.votes++
+					st.Speed.Add(speed)
+					st.Quality.Add(quality)
+					st.Hist.Add(speed)
+				}
+			}
+		}
+	})
+
+	res := RatingResult{
+		Cells:        make([]RatingCellStats, len(cells)),
+		Participants: cfg.Participants,
+		Shards:       cfg.Shards,
+	}
+	for i, c := range cells {
+		res.Cells[i] = NewRatingCellStats(c.Label, c.Env)
+	}
+	var funnel conformance.StreamFunnel
+	for si := range shards {
+		sh := &shards[si]
+		for i := range res.Cells {
+			res.Cells[i].Merge(&sh.cells[i])
+		}
+		funnel.Merge(sh.funnel)
+		res.Kept += sh.kept
+		res.Votes += sh.votes
+	}
+	if cfg.Conformance {
+		res.Funnel = funnel.Funnel()
+	}
+	return res, nil
+}

@@ -84,8 +84,10 @@ func TestEachConditionRecordedOnce(t *testing.T) {
 func TestMergePlan(t *testing.T) {
 	all := experiments.All()
 	nets, prots := MergePlan(all)
-	if len(nets) != 4 {
-		t.Fatalf("merged networks = %d, want 4", len(nets))
+	// Four Table 2 networks plus the four scenario-library profiles the
+	// pop-* experiments declare.
+	if len(nets) != 8 {
+		t.Fatalf("merged networks = %d, want 8", len(nets))
 	}
 	if len(prots) != 5 {
 		t.Fatalf("merged protocols = %d, want 5", len(prots))

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestWelfordMatchesBatch: the online estimator must agree with the batch
+// Mean/Variance over the same samples to floating-point accuracy.
+func TestWelfordMatchesBatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 10_000)
+	var w Welford
+	for i := range xs {
+		xs[i] = 40 + rng.NormFloat64()*12
+		w.Add(xs[i])
+	}
+	if got, want := w.Mean(), Mean(xs); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean %v vs batch %v", got, want)
+	}
+	if got, want := w.Variance(), Variance(xs); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("variance %v vs batch %v", got, want)
+	}
+	ci, err := w.MeanCI(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchCI, err := MeanCI(xs, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(ci.Lo-batchCI.Lo) > 1e-9 || math.Abs(ci.Hi-batchCI.Hi) > 1e-9 {
+		t.Fatalf("CI %v vs batch %v", ci, batchCI)
+	}
+}
+
+// TestWelfordMergeEqualsSequential: splitting a stream into shards and
+// merging must reproduce the single-stream accumulator exactly enough for
+// reporting, and be deterministic across repeated merges.
+func TestWelfordMergeEqualsSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	xs := make([]float64, 9_001)
+	var whole Welford
+	for i := range xs {
+		xs[i] = rng.ExpFloat64() * 10
+		whole.Add(xs[i])
+	}
+	for _, shards := range []int{2, 3, 8} {
+		parts := make([]Welford, shards)
+		for i, x := range xs {
+			parts[i%shards].Add(x)
+		}
+		var merged Welford
+		for _, p := range parts {
+			merged.Merge(p)
+		}
+		if merged.N() != whole.N() {
+			t.Fatalf("shards=%d: n %d vs %d", shards, merged.N(), whole.N())
+		}
+		if math.Abs(merged.Mean()-whole.Mean()) > 1e-9 {
+			t.Fatalf("shards=%d: mean %v vs %v", shards, merged.Mean(), whole.Mean())
+		}
+		if math.Abs(merged.Variance()-whole.Variance()) > 1e-6 {
+			t.Fatalf("shards=%d: var %v vs %v", shards, merged.Variance(), whole.Variance())
+		}
+	}
+}
+
+// TestStreamHistQuantiles: interpolated quantiles of a uniform stream land
+// within a bin width of the exact batch quantiles, and merging shards equals
+// the whole-stream histogram.
+func TestStreamHistQuantiles(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	h := NewStreamHist(10, 70, 120)
+	parts := []*StreamHist{NewStreamHist(10, 70, 120), NewStreamHist(10, 70, 120)}
+	var xs []float64
+	for i := 0; i < 50_000; i++ {
+		x := 10 + rng.Float64()*60
+		xs = append(xs, x)
+		h.Add(x)
+		parts[i%2].Add(x)
+	}
+	binWidth := 60.0 / 120
+	for _, q := range []float64{0.1, 0.25, 0.5, 0.9} {
+		got := h.Quantile(q)
+		want := Quantile(xs, q)
+		if math.Abs(got-want) > binWidth {
+			t.Fatalf("q=%v: %v vs batch %v (tolerance %v)", q, got, want, binWidth)
+		}
+	}
+	merged := NewStreamHist(10, 70, 120)
+	merged.Merge(parts[0])
+	merged.Merge(parts[1])
+	if merged.N() != h.N() || merged.Median() != h.Median() {
+		t.Fatalf("merge mismatch: n %d/%d median %v/%v", merged.N(), h.N(), merged.Median(), h.Median())
+	}
+}
+
+// TestStreamHistClamps: out-of-range values count in the edge bins instead
+// of being dropped, so totals stay exact.
+func TestStreamHistClamps(t *testing.T) {
+	h := NewStreamHist(0, 1, 4)
+	h.Add(-5)
+	h.Add(0.5)
+	h.Add(99)
+	if h.N() != 3 {
+		t.Fatalf("n = %d, want 3", h.N())
+	}
+	if m := h.Median(); m < 0 || m > 1 {
+		t.Fatalf("median %v outside range", m)
+	}
+}
+
+// TestBinomialWilson: the Wilson interval contains the true proportion for a
+// calibrated stream, stays inside [0,1] at the extremes, and merges exactly.
+func TestBinomialWilson(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var b Binomial
+	var parts [4]Binomial
+	const p = 0.3
+	for i := 0; i < 20_000; i++ {
+		s := rng.Float64() < p
+		b.Observe(s)
+		parts[i%4].Observe(s)
+	}
+	ci, err := b.CI(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ci.Contains(p) {
+		t.Fatalf("99%% CI %v misses true p=%v", ci, p)
+	}
+	var merged Binomial
+	for _, p := range parts {
+		merged.Merge(p)
+	}
+	if merged.Share() != b.Share() || merged.N() != b.N() {
+		t.Fatalf("merge mismatch: %v/%v", merged, b)
+	}
+
+	var edge Binomial
+	for i := 0; i < 50; i++ {
+		edge.Observe(true)
+	}
+	eci, err := edge.CI(0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eci.Hi > 1 || eci.Lo < 0 || eci.Lo > eci.Hi {
+		t.Fatalf("degenerate interval %v", eci)
+	}
+	if eci.Lo > 0.99 {
+		t.Fatalf("Wilson lower bound should pull below 1 at n=50, got %v", eci)
+	}
+}

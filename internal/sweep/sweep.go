@@ -87,8 +87,12 @@ type Result struct {
 	Points []Point
 }
 
-// apply returns the base network with the dimension set to v.
-func apply(base simnet.NetworkConfig, dim Dimension, v float64) simnet.NetworkConfig {
+// Apply returns the base network with the dimension set to v. It is
+// exported so other drivers of the sweep space — notably the pop-sweep
+// population experiment — turn exactly the same knobs the interactive sweep
+// does. The Speed case delegates to simnet's Scaled derivation, the shared
+// "same shape, faster network" idiom of the scenario library.
+func Apply(base simnet.NetworkConfig, dim Dimension, v float64) simnet.NetworkConfig {
 	out := base
 	switch dim {
 	case Bandwidth:
@@ -105,17 +109,16 @@ func apply(base simnet.NetworkConfig, dim Dimension, v float64) simnet.NetworkCo
 		out.LossRate = v
 		out.Name = fmt.Sprintf("%s@%g%%", base.Name, v*100)
 	case Speed:
-		out.UplinkBps = int64(float64(base.UplinkBps) * v)
-		out.DownlinkBps = int64(float64(base.DownlinkBps) * v)
-		out.MinRTT = time.Duration(float64(base.MinRTT) / v)
-		out.Name = fmt.Sprintf("%s@x%g", base.Name, v)
+		out = base.Scaled(v)
 	}
 	return out
 }
 
-// meanReport loads the sites reps times and returns the mean SI and a
-// representative report for the perception panel.
-func meanReport(sites []*webpage.Site, net simnet.NetworkConfig, protoName string, reps int, seed int64) (time.Duration, metrics.Report) {
+// MeanReport loads the sites reps times and returns the mean SI and a
+// representative report for a perception panel. Exported for the population
+// experiments, which feed the same representative reports to much larger
+// streamed panels.
+func MeanReport(sites []*webpage.Site, net simnet.NetworkConfig, protoName string, reps int, seed int64) (time.Duration, metrics.Report) {
 	var sis, fvcs []float64
 	for _, site := range sites {
 		for i := 0; i < reps; i++ {
@@ -158,9 +161,9 @@ func Run(cfg Config) (Result, error) {
 	res := Result{Cfg: cfg}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x53574545)) // "SWEE"
 	for _, v := range cfg.Values {
-		net := apply(cfg.Base, cfg.Dim, v)
-		siA, repA := meanReport(cfg.Sites, net, cfg.ProtoA, cfg.Reps, cfg.Seed)
-		siB, repB := meanReport(cfg.Sites, net, cfg.ProtoB, cfg.Reps, cfg.Seed)
+		net := Apply(cfg.Base, cfg.Dim, v)
+		siA, repA := MeanReport(cfg.Sites, net, cfg.ProtoA, cfg.Reps, cfg.Seed)
+		siB, repB := MeanReport(cfg.Sites, net, cfg.ProtoB, cfg.Reps, cfg.Seed)
 		if siA == 0 || siB == 0 {
 			return Result{}, fmt.Errorf("sweep: no complete loads at %s=%g", cfg.Dim, v)
 		}
