@@ -174,6 +174,45 @@ func BenchmarkPopRatingExperiment(b *testing.B) {
 
 // ---- substrate micro-benchmarks ----
 
+// BenchmarkSimnetSchedule measures the pooled scheduler hot path: one
+// schedule + fire cycle in steady state (free list warm, no closures).
+func BenchmarkSimnetSchedule(b *testing.B) {
+	b.ReportAllocs()
+	sim := simnet.New(1)
+	nop := func(any) {}
+	for i := 0; i < 64; i++ {
+		sim.ScheduleArg(time.Microsecond, nop, nil)
+	}
+	sim.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sim.ScheduleArg(time.Microsecond, nop, nil)
+		sim.Run()
+	}
+}
+
+// BenchmarkSimnetLinkSteadyState measures Link.Send + delivery with warm
+// pools on a persistent simulator — the per-frame cost population-scale runs
+// actually pay, as opposed to BenchmarkSimnetLink's cold-start cost.
+func BenchmarkSimnetLinkSteadyState(b *testing.B) {
+	b.ReportAllocs()
+	sim := simnet.New(1)
+	l := simnet.NewLink(sim, simnet.LinkConfig{
+		BandwidthBps: 1e9, QueueCapBytes: 1 << 24,
+	}, 1)
+	n := 0
+	l.Deliver = func(simnet.Frame) { n++ }
+	for i := 0; i < 256; i++ {
+		l.Send(simnet.Frame{Size: 1500})
+	}
+	sim.Run()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l.Send(simnet.Frame{Size: 1500})
+		sim.Run()
+	}
+}
+
 // BenchmarkSimnetLink measures raw event-loop + link throughput.
 func BenchmarkSimnetLink(b *testing.B) {
 	b.ReportAllocs()

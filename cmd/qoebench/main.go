@@ -27,6 +27,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
 
 	"repro/internal/core"
 	"repro/internal/runner"
@@ -40,6 +43,9 @@ func main() {
 	format := flag.String("format", "text", "output format for every experiment: text, csv or json")
 	parallel := flag.Int("parallel", 0, "max experiments running concurrently (0 = GOMAXPROCS, 1 = sequential)")
 	list := flag.Bool("list", false, "list registered experiments and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file` (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
+	benchTrace := flag.String("bench-trace", "", "write a runtime execution trace of the run to `file` (go tool trace)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: qoebench [-scale quick|standard|paper] [-seed N] [-format text|csv|json] [-parallel N] <experiment> [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       qoebench -list\n")
@@ -90,12 +96,13 @@ func main() {
 		os.Exit(2)
 	}
 
-	rep := runner.Run(exps, runner.Options{
+	rep := runProfiled(exps, runner.Options{
 		Scale:    sc,
 		Seed:     *seed,
 		Parallel: *parallel,
 		Format:   runner.Format(*format),
-	})
+	}, *cpuprofile, *memprofile, *benchTrace)
+
 	if err := rep.WriteOutputs(os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "qoebench: %v\n", err)
 		os.Exit(1)
@@ -104,4 +111,76 @@ func main() {
 	// for any -parallel setting; the accounting line includes wall-clock
 	// timings, so it goes to stderr.
 	fmt.Fprintln(os.Stderr, rep.Summary())
+}
+
+// runProfiled brackets the measured run (prewarm + experiments) with the
+// requested profiling hooks, so perf regressions can be diagnosed without
+// editing code. Stops are deferred: if an experiment panics, the CPU profile
+// and trace are still finalized and readable — exactly the runs a profile is
+// most wanted for.
+func runProfiled(exps []experiments.Experiment, opts runner.Options, cpuPath, memPath, tracePath string) runner.Report {
+	stop := startProfiling(cpuPath, tracePath)
+	defer stop()
+	defer writeMemProfile(memPath)
+	return runner.Run(exps, opts)
+}
+
+// startProfiling begins CPU profiling and/or execution tracing and returns a
+// function that stops whatever was started.
+func startProfiling(cpuPath, tracePath string) (stop func()) {
+	var stops []func()
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoebench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "qoebench: -cpuprofile: %v\n", err)
+			os.Exit(2)
+		}
+		stops = append(stops, func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		})
+	}
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoebench: -bench-trace: %v\n", err)
+			os.Exit(2)
+		}
+		if err := trace.Start(f); err != nil {
+			fmt.Fprintf(os.Stderr, "qoebench: -bench-trace: %v\n", err)
+			os.Exit(2)
+		}
+		stops = append(stops, func() {
+			trace.Stop()
+			f.Close()
+		})
+	}
+	return func() {
+		for _, s := range stops {
+			s()
+		}
+	}
+}
+
+// writeMemProfile records the post-run live heap (after a GC, so pooled
+// steady-state memory — not transient garbage — is what shows up).
+func writeMemProfile(path string) {
+	if path == "" {
+		return
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoebench: -memprofile: %v\n", err)
+		os.Exit(2)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "qoebench: -memprofile: %v\n", err)
+		os.Exit(2)
+	}
 }

@@ -25,6 +25,16 @@
 // per-experiment seeds — so `qoebench all` does the transport/browser
 // simulation work once, not once per experiment.
 //
+// The event core is allocation-free in steady state: simulator timers,
+// link frames, wire packets, and in-flight records all come from free lists
+// and are recycled, hot callbacks are scheduled as a function plus pre-bound
+// argument rather than a closure, and study loops reuse their participant
+// models and scratch — so a full `qoebench all` batch is GC-quiet and ~3x
+// faster than the closure-per-event design it replaced (BENCH_pr*.json,
+// diffable with tools/benchdiff), while every golden output stays
+// byte-identical. qoebench's -cpuprofile, -memprofile, and -bench-trace
+// flags expose the run to the standard Go profiling tools.
+//
 // Beyond the paper's grid, internal/simnet carries a named scenario library
 // (fast-fiber, congested-wifi, lossy-satellite, throttled-3g) and
 // internal/population a sharded population-scale study engine: the pop-*

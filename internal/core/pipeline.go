@@ -89,9 +89,11 @@ func RunABStudy(group study.Group, conditions []ABCondition, seed int64) ABOutco
 	}
 	rng := rand.New(rand.NewSource(seed ^ 0xAB))
 	plan := study.PlanFor(group)
+	scratch := make([]int, len(conditions))
+	var model participant.Model
 	for range kept {
-		model := participant.New(group, rng)
-		for _, ci := range pickConditions(rng, len(conditions), plan.ABVideos) {
+		model.Reinit(group, rng)
+		for _, ci := range pickConditionsInto(rng, scratch, len(conditions), plan.ABVideos) {
 			cond := conditions[ci]
 			vote, _, replays := model.ABVote(cond.Video.Left.Report, cond.Video.Right.Report)
 			out.VoteCount[ci]++
@@ -234,16 +236,24 @@ func RunRatingStudy(group study.Group, conditions []RatingCondition, seed int64)
 		study.FreeTime: plan.RatingFree,
 		study.OnPlane:  plan.RatingPlane,
 	}
+	maxEnvCells := 0
+	for _, idxs := range byEnv {
+		if len(idxs) > maxEnvCells {
+			maxEnvCells = len(idxs)
+		}
+	}
 	rng := rand.New(rand.NewSource(seed ^ 0x5A7E))
+	scratch := make([]int, maxEnvCells)
+	var model participant.Model
 	for range kept {
-		model := participant.New(group, rng)
+		model.Reinit(group, rng)
 		for _, env := range study.Environments() { // fixed order: determinism
 			count := perEnv[env]
 			idxs := byEnv[env]
 			if len(idxs) == 0 {
 				continue
 			}
-			for _, pick := range pickConditions(rng, len(idxs), count) {
+			for _, pick := range pickConditionsInto(rng, scratch, len(idxs), count) {
 				ci := idxs[pick]
 				speed, quality := model.Rate(conditions[ci].Rec.Report, env)
 				out.Speed[ci] = append(out.Speed[ci], speed)
@@ -254,14 +264,22 @@ func RunRatingStudy(group study.Group, conditions []RatingCondition, seed int64)
 	return out
 }
 
-// pickConditions selects min(n, count) distinct indices.
-func pickConditions(rng *rand.Rand, n, count int) []int {
+// pickConditionsInto selects min(n, count) distinct indices into scratch
+// (capacity >= n). When a random subset is needed it consumes exactly the
+// draws rand.Perm(n) would — including the i=0 Intn(1) draw — so swapping in
+// the scratch version cannot move any downstream random number.
+func pickConditionsInto(rng *rand.Rand, scratch []int, n, count int) []int {
+	out := scratch[:n]
 	if count >= n {
-		out := make([]int, n)
 		for i := range out {
 			out[i] = i
 		}
 		return out
 	}
-	return rng.Perm(n)[:count]
+	for i := 0; i < n; i++ {
+		j := rng.Intn(i + 1)
+		out[i] = out[j]
+		out[j] = i
+	}
+	return out[:count]
 }

@@ -54,8 +54,18 @@ const salienceDelta = 0.4
 // New creates a participant of the given group from the supplied random
 // stream.
 func New(g study.Group, rng *rand.Rand) *Model {
+	m := &Model{}
+	m.Reinit(g, rng)
+	return m
+}
+
+// Reinit re-draws a participant in place: it consumes exactly the random
+// draws New does and leaves the model identical to a freshly constructed
+// one, so population-scale loops can reuse a single Model per worker
+// instead of allocating one per synthetic participant.
+func (m *Model) Reinit(g study.Group, rng *rand.Rand) {
 	jnd, sigma, _ := groupParams(g)
-	return &Model{
+	*m = Model{
 		rng:   rng,
 		Group: g,
 		jnd:   jnd,

@@ -290,6 +290,7 @@ func RunAB(cells []ABCell, cfg Config) (ABResult, error) {
 		sh.cells = make([]ABCellStats, len(cells))
 		rng := rand.New(rand.NewSource(shardSeed(cfg.Seed, si)))
 		scratch := make([]int, len(cells))
+		var m participant.Model // reused across the shard's participants
 		lo, hi := shardRange(cfg.Participants, cfg.Shards, si)
 		for p := lo; p < hi; p++ {
 			if cfg.Conformance {
@@ -299,7 +300,7 @@ func RunAB(cells []ABCell, cfg Config) (ABResult, error) {
 				}
 			}
 			sh.kept++
-			m := participant.New(cfg.Group, rng)
+			m.Reinit(cfg.Group, rng)
 			for _, ci := range drawDistinct(rng, scratch, len(cells), votesPer) {
 				cell := &cells[ci]
 				vote, confidence, replays := m.ABVote(cell.Left, cell.Right)
@@ -419,6 +420,7 @@ func RunRating(cells []RatingCell, cfg Config) (RatingResult, error) {
 		}
 		rng := rand.New(rand.NewSource(shardSeed(cfg.Seed, si)))
 		scratch := make([]int, maxEnvCells)
+		var m participant.Model // reused across the shard's participants
 		lo, hi := shardRange(cfg.Participants, cfg.Shards, si)
 		for p := lo; p < hi; p++ {
 			if cfg.Conformance {
@@ -428,7 +430,7 @@ func RunRating(cells []RatingCell, cfg Config) (RatingResult, error) {
 				}
 			}
 			sh.kept++
-			m := participant.New(cfg.Group, rng)
+			m.Reinit(cfg.Group, rng)
 			for _, env := range study.Environments() { // fixed order: determinism
 				idxs := byEnv[env]
 				if len(idxs) == 0 {

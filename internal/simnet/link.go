@@ -34,10 +34,25 @@ func (st LinkStats) LossRatio() float64 {
 	return float64(st.DroppedLoss+st.DroppedQueue) / float64(st.Sent)
 }
 
+// frameNode is one accepted frame riding the link, on an intrusive FIFO.
+// Nodes come from the link's free list, so steady-state sending allocates
+// nothing.
+type frameNode struct {
+	frame     Frame
+	departure time.Duration // when serialization finishes (leaves the queue)
+	deqSeq    uint64        // event-order slot of the departure (see drain)
+	next      *frameNode
+}
+
 // Link models a unidirectional Mahimahi-style link: a droptail byte queue in
 // front of a constant-rate serializer, followed by fixed propagation delay,
 // with optional independent (Bernoulli) random loss applied to each frame as
 // it enters, mirroring Mahimahi's loss shell sitting outside the link shell.
+//
+// Each accepted frame schedules exactly one event (its delivery at
+// departure+PropDelay); queue occupancy is settled lazily from the frames'
+// departure times whenever it is read, so the values every droptail decision
+// sees are identical to an eager per-departure bookkeeping event.
 type Link struct {
 	sim *Simulator
 	rng *rand.Rand
@@ -56,7 +71,15 @@ type Link struct {
 
 	queuedBytes int
 	busyUntil   time.Duration
-	Stats       LinkStats
+
+	// In-flight FIFO: head is the next frame to deliver, undeparted the
+	// first frame still occupying the droptail queue (everything between
+	// head and undeparted has been serialized but not yet delivered).
+	head, tail *frameNode
+	undeparted *frameNode
+	freeNodes  *frameNode
+
+	Stats LinkStats
 }
 
 // LinkConfig bundles the construction parameters for a Link.
@@ -98,8 +121,29 @@ func (l *Link) QueueDelay() time.Duration {
 	return l.busyUntil - l.sim.Now()
 }
 
+// drain settles queue occupancy: frames whose serialization finished by the
+// current instant no longer occupy the droptail queue.
+func (l *Link) drain() {
+	now := l.sim.Now()
+	for n := l.undeparted; n != nil; n = n.next {
+		// A frame leaves the queue at event position (departure, deqSeq):
+		// strictly before any event at a later time, and before a
+		// simultaneous event only if that event was scheduled later. This is
+		// exactly when the eager bookkeeping event this replaces would have
+		// fired, so droptail decisions are unchanged.
+		if n.departure > now || (n.departure == now && n.deqSeq >= l.sim.curSeq) {
+			break
+		}
+		l.queuedBytes -= n.frame.Size
+		l.undeparted = n.next
+	}
+}
+
 // QueuedBytes returns the current queue occupancy.
-func (l *Link) QueuedBytes() int { return l.queuedBytes }
+func (l *Link) QueuedBytes() int {
+	l.drain()
+	return l.queuedBytes
+}
 
 // Send pushes a frame onto the link. The frame is dropped with probability
 // LossRate, or if the droptail queue is full; otherwise it is serialized
@@ -116,6 +160,7 @@ func (l *Link) Send(f Frame) {
 		l.Stats.DroppedLoss++
 		return
 	}
+	l.drain()
 	if l.QueueCapBytes > 0 && l.queuedBytes+f.Size > l.QueueCapBytes {
 		l.Stats.DroppedQueue++
 		return
@@ -133,15 +178,49 @@ func (l *Link) Send(f Frame) {
 	departure := start + l.TxTime(f.Size)
 	l.busyUntil = departure
 
-	frame := f
-	l.sim.ScheduleAt(departure, func() {
-		l.queuedBytes -= frame.Size
-	})
-	l.sim.ScheduleAt(departure+l.PropDelay, func() {
-		l.Stats.Delivered++
-		l.Stats.BytesDelivered += uint64(frame.Size)
-		l.Deliver(frame)
-	})
+	n := l.freeNodes
+	if n == nil {
+		// Grow the free list a slab at a time (cold-start amortization).
+		slab := make([]frameNode, 16)
+		for i := 1; i < len(slab); i++ {
+			slab[i].next = l.freeNodes
+			l.freeNodes = &slab[i]
+		}
+		n = &slab[0]
+	} else {
+		l.freeNodes = n.next
+	}
+	n.frame, n.departure, n.deqSeq, n.next = f, departure, l.sim.allocSeq(), nil
+	if l.tail != nil {
+		l.tail.next = n
+	} else {
+		l.head = n
+	}
+	l.tail = n
+	if l.undeparted == nil {
+		l.undeparted = n
+	}
+	l.sim.ScheduleArgAt(departure+l.PropDelay, deliverFrameEvent, l)
+}
+
+// deliverFrameEvent delivers the link's oldest in-flight frame. Departures
+// are FIFO and PropDelay is constant, so delivery events fire in the same
+// order frames were accepted and the head is always the firing frame.
+func deliverFrameEvent(arg any) {
+	l := arg.(*Link)
+	l.drain() // the head departed no later than now-PropDelay
+	n := l.head
+	l.head = n.next
+	if l.head == nil {
+		l.tail = nil
+	}
+	f := n.frame
+	n.frame = Frame{} // drop the payload reference while pooled
+	n.next = l.freeNodes
+	l.freeNodes = n
+	l.Stats.Delivered++
+	l.Stats.BytesDelivered += uint64(f.Size)
+	l.Deliver(f)
 }
 
 // QueueCapForDelay converts a queue size expressed as a maximum queueing

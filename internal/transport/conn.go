@@ -97,6 +97,16 @@ type Conn struct {
 	cfg Config
 	out func(simnet.Frame)
 
+	// pool recycles wire packets; set by Network.NewConnPair (nil for a
+	// standalone Conn, which then allocates packets the ordinary way).
+	pool *packetPool
+	// spFree recycles SentPacket records dropped by compactSent.
+	spFree []*SentPacket
+	// ackScratch / lossScratch / sackAll are reused per-ack scratch slices.
+	ackScratch  []*SentPacket
+	lossScratch []*SentPacket
+	sackAll     []Range
+
 	// Callbacks (set before Start).
 	OnEstablished func()
 	// OnStreamData fires when the in-order delivered prefix of a stream
@@ -111,13 +121,15 @@ type Conn struct {
 	hsNextIn     int // next handshake step index expected from the peer
 	hsSentLast   bool
 	hsRecvBytes  int
-	hsTimer      *simnet.Timer
+	hsTimer      simnet.Timer
+	hsRexmitStep int // step the armed handshake timer retransmits
 	hsRetries    int
 	hsLastSendAt time.Duration // for handshake RTT sampling
 
-	// Send state.
+	// Send state. queue is consumed from qHead so draining does not realloc.
 	nextPN int64
 	queue  []chunk
+	qHead  int
 	// rexmitQ holds chunks awaiting retransmission, lowest sequence first —
 	// the SACK-scoreboard rule that the oldest hole is repaired first.
 	rexmitQ      []chunk
@@ -131,7 +143,7 @@ type Conn struct {
 	peerRwnd     int64
 	pacer        *congestion.Pacer
 	rtt          RTTEstimator
-	rtoTimer     *simnet.Timer
+	rtoTimer     simnet.Timer
 	// Recovery epoch: one congestion response per loss event. In byte-stream
 	// mode recovery ends when the cumulative ack passes the highest byte
 	// sent at detection time; in packet mode when largestAcked passes the
@@ -155,7 +167,7 @@ type Conn struct {
 	rcvPN          RangeSet // packet-number mode: received PNs
 	streams        map[int]*recvStream
 	ackPending     int
-	ackTimer       *simnet.Timer
+	ackTimer       simnet.Timer
 	lastArrival    int64 // connOff of the newest data (first SACK block)
 	sackRotate     int   // rotates the remaining SACK blocks across acks
 
@@ -202,6 +214,59 @@ func NewConn(sim *simnet.Simulator, cfg Config, out func(simnet.Frame)) *Conn {
 	return c
 }
 
+// newPacket draws a wire packet from the network's shared pool when the
+// conn is attached to one, so steady-state sending allocates no packets.
+func (c *Conn) newPacket() *Packet {
+	if c.pool != nil {
+		return c.pool.Get()
+	}
+	return &Packet{}
+}
+
+// newSentPacket draws a zeroed in-flight record from the conn's free list.
+func (c *Conn) newSentPacket() *SentPacket {
+	if n := len(c.spFree); n > 0 {
+		sp := c.spFree[n-1]
+		c.spFree[n-1] = nil
+		c.spFree = c.spFree[:n-1]
+		*sp = SentPacket{}
+		return sp
+	}
+	return &SentPacket{}
+}
+
+func (c *Conn) freeSentPacket(sp *SentPacket) { c.spFree = append(c.spFree, sp) }
+
+// queueLen returns the number of chunks awaiting first transmission.
+func (c *Conn) queueLen() int { return len(c.queue) - c.qHead }
+
+// Package-level event callbacks: scheduled with ScheduleArg so arming a
+// timer allocates neither a node nor a closure.
+func onRTOEvent(a any)   { a.(*Conn).onRTO() }
+func sendAckEvent(a any) { a.(*Conn).sendAck() }
+
+func paceResumeEvent(a any) {
+	c := a.(*Conn)
+	c.sendPending = false
+	c.trySend()
+}
+
+func drainSignalEvent(a any) {
+	c := a.(*Conn)
+	if c.queueLen() == 0 && len(c.rexmitQ) == 0 {
+		c.OnSendSpace()
+	}
+}
+
+func hsRexmitEvent(a any) {
+	c := a.(*Conn)
+	if c.established && c.hsNextIn > c.lastInStep() {
+		return
+	}
+	c.hsRetries++
+	c.sendHandshakeStep(c.hsRexmitStep)
+}
+
 // SetPeerRecvBuf seeds the flow-control limit before the first ack arrives.
 func (c *Conn) SetPeerRecvBuf(n int64) {
 	if n > 0 {
@@ -219,7 +284,7 @@ func (c *Conn) SRTT() time.Duration { return c.rtt.SRTT() }
 // acknowledged as sent (queued for first transmission or retransmission).
 func (c *Conn) QueuedBytes() int64 {
 	var n int64
-	for _, ch := range c.queue {
+	for _, ch := range c.queue[c.qHead:] {
 		n += int64(ch.len)
 	}
 	return n
@@ -281,9 +346,7 @@ func (c *Conn) establish() {
 	}
 	c.established = true
 	c.Stats.EstablishedAt = c.sim.Now()
-	if c.hsTimer != nil {
-		c.hsTimer.Cancel()
-	}
+	c.hsTimer.Cancel()
 	if c.OnEstablished != nil {
 		c.OnEstablished()
 	}
@@ -301,14 +364,13 @@ func (c *Conn) sendHandshakeStep(i int) {
 			n = c.cfg.MSS
 		}
 		remaining -= n
-		pkt := &Packet{
-			ConnID:        c.cfg.ConnID,
-			Kind:          KindHandshake,
-			PN:            -1,
-			HandshakeStep: i,
-			PayloadLen:    n,
-			HandshakeLast: remaining == 0,
-		}
+		pkt := c.newPacket()
+		pkt.ConnID = c.cfg.ConnID
+		pkt.Kind = KindHandshake
+		pkt.PN = -1
+		pkt.HandshakeStep = i
+		pkt.PayloadLen = n
+		pkt.HandshakeLast = remaining == 0
 		c.Stats.PacketsSent++
 		c.out(simnet.Frame{Size: n + c.cfg.Sem.PacketOverhead, Payload: pkt})
 	}
@@ -316,22 +378,15 @@ func (c *Conn) sendHandshakeStep(i int) {
 		c.hsSentLast = true
 	}
 	c.hsLastSendAt = c.sim.Now()
-	if c.hsTimer != nil {
-		c.hsTimer.Cancel()
-	}
-	// SYN-style retransmission: 1 s initial, doubling.
+	c.hsTimer.Cancel()
+	// SYN-style retransmission: 1 s initial, doubling. At most one handshake
+	// timer is armed, so the step it retransmits lives on the conn.
 	delay := time.Second << uint(c.hsRetries)
 	if delay > 32*time.Second {
 		delay = 32 * time.Second
 	}
-	step2 := i
-	c.hsTimer = c.sim.Schedule(delay, func() {
-		if c.established && c.hsNextIn > c.lastInStep() {
-			return
-		}
-		c.hsRetries++
-		c.sendHandshakeStep(step2)
-	})
+	c.hsRexmitStep = i
+	c.hsTimer = c.sim.ScheduleArg(delay, hsRexmitEvent, c)
 }
 
 func (c *Conn) receiveHandshake(p *Packet) {
@@ -369,9 +424,7 @@ func (c *Conn) receiveHandshake(p *Packet) {
 	c.hsNextIn++
 	c.hsRecvBytes = 0
 	c.hsRetries = 0
-	if c.hsTimer != nil {
-		c.hsTimer.Cancel()
-	}
+	c.hsTimer.Cancel()
 	if c.hsNextIn < len(c.cfg.Sem.Handshake) {
 		next := c.cfg.Sem.Handshake[c.hsNextIn]
 		if next.FromClient == (c.cfg.Role == RoleClient) {
@@ -390,6 +443,13 @@ func (c *Conn) WriteStream(streamID int, n int64, fin bool) {
 		panic(fmt.Sprintf("transport: non-positive write %d", n))
 	}
 	offBase := c.streamSendOff(streamID)
+	// Reclaim the consumed queue prefix before growing the slice, so a
+	// long-lived conn's queue capacity is bounded by its live contents.
+	if c.qHead > 0 && c.qHead*2 >= len(c.queue) {
+		live := copy(c.queue, c.queue[c.qHead:])
+		c.queue = c.queue[:live]
+		c.qHead = 0
+	}
 	remaining := n
 	for remaining > 0 {
 		sz := int64(c.cfg.MSS)
@@ -442,8 +502,8 @@ func (c *Conn) nextChunk() (chunk, bool) {
 		}
 		return ch, true
 	}
-	if len(c.queue) > 0 {
-		return c.queue[0], true
+	if c.qHead < len(c.queue) {
+		return c.queue[c.qHead], true
 	}
 	return chunk{}, false
 }
@@ -453,7 +513,11 @@ func (c *Conn) popChunk() {
 		c.rexmitQ = c.rexmitQ[1:]
 		return
 	}
-	c.queue = c.queue[1:]
+	c.qHead++
+	if c.qHead == len(c.queue) {
+		c.queue = c.queue[:0]
+		c.qHead = 0
+	}
 }
 
 // trySend drains the queues while congestion, flow-control and pacing allow.
@@ -464,7 +528,7 @@ func (c *Conn) trySend() {
 	// Idle restart: Linux collapses cwnd to IW when the connection was
 	// quiet for an RTO (tcp_slow_start_after_idle); the controller decides
 	// whether to honor it.
-	if c.everSent && c.inFlight == 0 && (len(c.queue) > 0 || len(c.rexmitQ) > 0) &&
+	if c.everSent && c.inFlight == 0 && (c.queueLen() > 0 || len(c.rexmitQ) > 0) &&
 		c.sim.Now()-c.lastSentAt > c.rtt.RTO() {
 		c.cfg.CC.OnIdleRestart(c.sim.Now())
 	}
@@ -473,11 +537,7 @@ func (c *Conn) trySend() {
 		if !ok {
 			if c.OnSendSpace != nil && !c.drainSignaled {
 				c.drainSignaled = true
-				c.sim.Schedule(0, func() {
-					if len(c.queue) == 0 && len(c.rexmitQ) == 0 {
-						c.OnSendSpace()
-					}
-				})
+				c.sim.ScheduleArg(0, drainSignalEvent, c)
 			}
 			return
 		}
@@ -494,10 +554,7 @@ func (c *Conn) trySend() {
 			if d := c.pacer.NextSendDelay(c.sim.Now(), wire, rate); d > 0 {
 				if !c.sendPending {
 					c.sendPending = true
-					c.sim.Schedule(d, func() {
-						c.sendPending = false
-						c.trySend()
-					})
+					c.sim.ScheduleArg(d, paceResumeEvent, c)
 				}
 				return
 			}
@@ -510,26 +567,24 @@ func (c *Conn) trySend() {
 func (c *Conn) sendChunk(ch chunk) {
 	pn := c.nextPN
 	c.nextPN++
-	pkt := &Packet{
-		ConnID:     c.cfg.ConnID,
-		Kind:       KindData,
-		PN:         pn,
-		StreamID:   ch.streamID,
-		StreamOff:  ch.streamOff,
-		PayloadLen: ch.len,
-		Fin:        ch.fin,
-		ConnOff:    ch.connOff,
-		Rexmit:     ch.rexmit,
-	}
+	pkt := c.newPacket()
+	pkt.ConnID = c.cfg.ConnID
+	pkt.Kind = KindData
+	pkt.PN = pn
+	pkt.StreamID = ch.streamID
+	pkt.StreamOff = ch.streamOff
+	pkt.PayloadLen = ch.len
+	pkt.Fin = ch.fin
+	pkt.ConnOff = ch.connOff
+	pkt.Rexmit = ch.rexmit
 	wire := ch.len + c.cfg.Sem.PacketOverhead
-	sp := &SentPacket{
-		PN:              pn,
-		Size:            wire,
-		SentAt:          int64(c.sim.Now()),
-		HasData:         true,
-		Chunk:           ch,
-		DeliveredAtSend: c.delivered,
-	}
+	sp := c.newSentPacket()
+	sp.PN = pn
+	sp.Size = wire
+	sp.SentAt = int64(c.sim.Now())
+	sp.HasData = true
+	sp.Chunk = ch
+	sp.DeliveredAtSend = c.delivered
 	c.sent[pn] = sp
 	c.sentOrder = append(c.sentOrder, pn)
 	c.inFlight += ch.len
@@ -553,9 +608,7 @@ func (c *Conn) sendChunk(ch chunk) {
 }
 
 func (c *Conn) armRTO() {
-	if c.rtoTimer != nil {
-		c.rtoTimer.Cancel()
-	}
+	c.rtoTimer.Cancel()
 	deadline := c.rtt.RTO()
 	// Before the probe is spent, fire earlier (2*srtt + delayed-ack slack),
 	// the RACK/TLP tail-repair schedule.
@@ -564,7 +617,7 @@ func (c *Conn) armRTO() {
 			deadline = tlp
 		}
 	}
-	c.rtoTimer = c.sim.Schedule(deadline, c.onRTO)
+	c.rtoTimer = c.sim.ScheduleArg(deadline, onRTOEvent, c)
 }
 
 func (c *Conn) onRTO() {
@@ -643,13 +696,17 @@ func (c *Conn) enqueueRexmit(ch chunk) {
 	c.rexmitQ[pos] = ch
 }
 
-// compactSent drops acked/lost entries from the ordered scan list.
+// compactSent drops acked/lost entries from the ordered scan list, returning
+// their records to the conn's free list.
 func (c *Conn) compactSent() {
 	live := c.sentOrder[:0]
 	for _, pn := range c.sentOrder {
 		sp := c.sent[pn]
 		if sp == nil || sp.Acked || sp.Lost {
 			delete(c.sent, pn)
+			if sp != nil {
+				c.freeSentPacket(sp)
+			}
 			continue
 		}
 		live = append(live, pn)
@@ -721,8 +778,8 @@ func (c *Conn) receiveData(p *Packet) {
 	c.ackPending++
 	if c.ackPending >= c.cfg.Sem.AckEvery || outOfOrder {
 		c.sendAck()
-	} else if c.ackTimer == nil || !c.ackTimer.Active() {
-		c.ackTimer = c.sim.Schedule(c.cfg.Sem.AckDelay, c.sendAck)
+	} else if !c.ackTimer.Active() {
+		c.ackTimer = c.sim.ScheduleArg(c.cfg.Sem.AckDelay, sendAckEvent, c)
 	}
 }
 
@@ -766,65 +823,72 @@ func (c *Conn) rcvWindow() int64 {
 }
 
 func (c *Conn) sendAck() {
-	if c.ackTimer != nil {
-		c.ackTimer.Cancel()
-	}
+	c.ackTimer.Cancel()
 	c.ackPending = 0
-	ai := &AckInfo{CumAck: -1, RcvWindow: c.rcvWindow()}
+	// The ack rides in the packet's own storage: when the packet came from
+	// the network pool, its range capacity is recycled with it.
+	pkt := c.newPacket()
+	ai := &pkt.ackStore
+	ai.CumAck = -1
+	ai.RcvWindow = c.rcvWindow()
+	ai.Ranges = ai.Ranges[:0]
 	if c.cfg.Sem.ByteStream {
 		ai.CumAck = c.rcvConn.CumulativeFrom(0)
-		ai.Ranges = c.sackBlocks(ai.CumAck)
+		ai.Ranges = c.appendSackBlocks(ai.Ranges, ai.CumAck)
 	} else {
 		max := c.cfg.Sem.MaxAckRanges
 		if max <= 0 {
 			max = 256
 		}
-		ai.Ranges = c.rcvPN.Above(0, max)
+		ai.Ranges = c.rcvPN.AppendAbove(ai.Ranges, 0, max)
 	}
-	pkt := &Packet{ConnID: c.cfg.ConnID, Kind: KindAck, PN: -1, Ack: ai}
+	pkt.ConnID = c.cfg.ConnID
+	pkt.Kind = KindAck
+	pkt.PN = -1
+	pkt.Ack = ai
 	size := c.cfg.Sem.PacketOverhead + 12 + 8*len(ai.Ranges)
 	c.Stats.AcksSent++
 	c.Stats.PacketsSent++
 	c.out(simnet.Frame{Size: size, Payload: pkt})
 }
 
-// sackBlocks emulates RFC 2018 SACK generation: the first block is the
-// range containing the most recently arrived segment, and the remaining
-// (at most MaxSackBlocks-1) slots rotate through the other out-of-order
-// ranges on successive acks, so the sender accumulates the full picture
-// over a few acks despite the 3-block option-space limit.
-func (c *Conn) sackBlocks(cum int64) []Range {
+// appendSackBlocks emulates RFC 2018 SACK generation into dst: the first
+// block is the range containing the most recently arrived segment, and the
+// remaining (at most MaxSackBlocks-1) slots rotate through the other
+// out-of-order ranges on successive acks, so the sender accumulates the full
+// picture over a few acks despite the 3-block option-space limit.
+func (c *Conn) appendSackBlocks(dst []Range, cum int64) []Range {
 	max := c.cfg.Sem.MaxSackBlocks
 	if max <= 0 {
-		return nil
+		return dst
 	}
-	all := c.rcvConn.Above(cum, 0) // highest-first
+	c.sackAll = c.rcvConn.AppendAbove(c.sackAll[:0], cum, 0) // highest-first
+	all := c.sackAll
 	if len(all) == 0 {
-		return nil
+		return dst
 	}
-	var blocks []Range
 	// First block: the range holding the newest arrival, if out-of-order.
 	for _, r := range all {
 		if r.Start <= c.lastArrival && c.lastArrival < r.End {
-			blocks = append(blocks, r)
+			dst = append(dst, r)
 			break
 		}
 	}
-	for i := 0; len(blocks) < max && i < len(all); i++ {
+	for i := 0; len(dst) < max && i < len(all); i++ {
 		r := all[(i+c.sackRotate)%len(all)]
 		dup := false
-		for _, b := range blocks {
+		for _, b := range dst {
 			if b == r {
 				dup = true
 				break
 			}
 		}
 		if !dup {
-			blocks = append(blocks, r)
+			dst = append(dst, r)
 		}
 	}
 	c.sackRotate++
-	return blocks
+	return dst
 }
 
 func (c *Conn) receiveAck(p *Packet) {
@@ -846,7 +910,7 @@ func (c *Conn) receiveAck(p *Packet) {
 		}
 	}
 
-	var newlyAcked []*SentPacket
+	newlyAcked := c.ackScratch[:0]
 	for _, pn := range c.sentOrder {
 		sp := c.sent[pn]
 		if sp == nil || sp.Acked || sp.Lost {
@@ -899,12 +963,13 @@ func (c *Conn) receiveAck(p *Packet) {
 	c.updateRecovery(ai.CumAck)
 	c.detectLosses()
 	c.compactSent()
+	c.ackScratch = newlyAcked[:0] // keep the grown capacity for the next ack
 
 	if len(newlyAcked) > 0 {
 		c.tlpFired = false
 		if c.inFlight > 0 {
 			c.armRTO()
-		} else if c.rtoTimer != nil {
+		} else {
 			c.rtoTimer.Cancel()
 		}
 	}
@@ -919,9 +984,8 @@ func (c *Conn) detectLosses() {
 	thresholdBytes := int64(c.cfg.Sem.LossThresholdSegments * c.cfg.MSS)
 	var highestSacked int64 = -1
 	if c.cfg.Sem.ByteStream {
-		rs := c.ackedBytes.Ranges()
-		if len(rs) > 0 {
-			highestSacked = rs[len(rs)-1].End
+		if r, ok := c.ackedBytes.Last(); ok {
+			highestSacked = r.End
 		}
 	}
 	timeThresh := c.rtt.SRTT() * 5 / 4
@@ -929,7 +993,7 @@ func (c *Conn) detectLosses() {
 		timeThresh = 250 * time.Millisecond
 	}
 
-	var lost []*SentPacket
+	lost := c.lossScratch[:0]
 	for _, pn := range c.sentOrder {
 		sp := c.sent[pn]
 		if sp == nil || sp.Acked || sp.Lost || !sp.HasData {
@@ -961,6 +1025,7 @@ func (c *Conn) detectLosses() {
 			lost = append(lost, sp)
 		}
 	}
+	c.lossScratch = lost[:0]
 	if len(lost) == 0 {
 		return
 	}

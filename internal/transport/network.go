@@ -15,6 +15,11 @@ type Network struct {
 	clients map[int]*Conn
 	servers map[int]*Conn
 	nextID  int
+
+	// pool recycles packets across all connections on this network: a
+	// packet is drawn by the sending half and returned here after the
+	// receiving half consumed it.
+	pool packetPool
 }
 
 // NewNetwork builds the shared path for the given Table 2 network
@@ -34,6 +39,7 @@ func (n *Network) deliverUp(f simnet.Frame) {
 	if c := n.servers[pkt.ConnID]; c != nil {
 		c.Receive(pkt)
 	}
+	n.pool.Put(pkt) // Receive keeps no reference to the packet
 }
 
 func (n *Network) deliverDown(f simnet.Frame) {
@@ -41,6 +47,7 @@ func (n *Network) deliverDown(f simnet.Frame) {
 	if c := n.clients[pkt.ConnID]; c != nil {
 		c.Receive(pkt)
 	}
+	n.pool.Put(pkt)
 }
 
 // NewConnPair creates both halves of a connection attached to the shared
@@ -55,6 +62,8 @@ func (n *Network) NewConnPair(clientCfg, serverCfg Config) (client, server *Conn
 
 	client = NewConn(n.Sim, clientCfg, func(f simnet.Frame) { n.Path.Up.Send(f) })
 	server = NewConn(n.Sim, serverCfg, func(f simnet.Frame) { n.Path.Down.Send(f) })
+	client.pool = &n.pool
+	server.pool = &n.pool
 	client.SetPeerRecvBuf(serverCfg.RecvBuf)
 	server.SetPeerRecvBuf(clientCfg.RecvBuf)
 	n.clients[id] = client

@@ -65,6 +65,44 @@ type Packet struct {
 	Rexmit     bool  // retransmission (RTT samples from these are ambiguous)
 
 	Ack *AckInfo
+
+	// ackStore is the AckInfo (and its range storage) Ack points at when the
+	// packet was built by a pooling sender; its Ranges capacity survives
+	// recycling so steady-state acks allocate nothing.
+	ackStore AckInfo
+}
+
+// packetPool recycles Packets between the two halves of a Network. A packet
+// is created by the sending Conn, crosses the simulated link, and is
+// returned to the pool by the Network once the receiving Conn has consumed
+// it (Receive copies everything it keeps), so in steady state the send path
+// allocates no packets. Frames dropped by the link simply fall to the
+// garbage collector — a drop is rare relative to a delivery and recycling it
+// would couple the link layer to the payload type.
+type packetPool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed packet, reusing ack-range capacity when available.
+func (pp *packetPool) Get() *Packet {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		ranges := p.ackStore.Ranges[:0]
+		*p = Packet{}
+		p.ackStore.Ranges = ranges
+		return p
+	}
+	return &Packet{}
+}
+
+// Put returns a consumed packet to the pool.
+func (pp *packetPool) Put(p *Packet) {
+	if p == nil {
+		return
+	}
+	pp.free = append(pp.free, p)
 }
 
 func (p *Packet) String() string {

@@ -35,38 +35,45 @@ type RangeSet struct {
 }
 
 // Add inserts [start, end) and merges any overlapping or adjacent ranges.
+// The set's backing array is mutated in place, so steady-state insertion
+// into a warm set allocates nothing.
 func (s *RangeSet) Add(start, end int64) {
 	if start >= end {
 		return
 	}
-	// Locate insertion window: all ranges overlapping or adjacent to
-	// [start, end) collapse into one.
-	out := s.rs[:0:0]
-	inserted := false
-	for _, r := range s.rs {
-		switch {
-		case r.End < start:
-			out = append(out, r)
-		case end < r.Start:
-			if !inserted {
-				out = append(out, Range{start, end})
-				inserted = true
-			}
-			out = append(out, r)
-		default:
-			// Overlap or adjacency: grow the pending range.
-			if r.Start < start {
-				start = r.Start
-			}
-			if r.End > end {
-				end = r.End
-			}
+	rs := s.rs
+	n := len(rs)
+	// lo: first range overlapping or adjacent to [start, end);
+	// hi: one past the last such range. Everything in [lo, hi) collapses
+	// into the inserted range.
+	lo := 0
+	for lo < n && rs[lo].End < start {
+		lo++
+	}
+	hi := lo
+	for hi < n && rs[hi].Start <= end {
+		if rs[hi].Start < start {
+			start = rs[hi].Start
 		}
+		if rs[hi].End > end {
+			end = rs[hi].End
+		}
+		hi++
 	}
-	if !inserted {
-		out = append(out, Range{start, end})
+	if lo == hi {
+		// No overlap: open a slot at lo.
+		rs = append(rs, Range{})
+		copy(rs[lo+1:], rs[lo:])
+		rs[lo] = Range{start, end}
+		s.rs = rs
+		return
 	}
-	s.rs = out
+	rs[lo] = Range{start, end}
+	if hi > lo+1 {
+		copy(rs[lo+1:], rs[hi:])
+		rs = rs[:n-(hi-lo-1)]
+	}
+	s.rs = rs
 }
 
 // Contains reports whether [start, end) is fully covered.
@@ -106,8 +113,14 @@ func (s *RangeSet) Ranges() []Range {
 // highest) first — the shape of TCP SACK blocks, which report the newest
 // holes' edges first and are capped at three blocks by option space.
 func (s *RangeSet) Above(seq int64, max int) []Range {
-	var out []Range
-	for i := len(s.rs) - 1; i >= 0 && (max <= 0 || len(out) < max); i-- {
+	return s.AppendAbove(nil, seq, max)
+}
+
+// AppendAbove is Above writing into dst (normally a reused scratch slice
+// resliced to zero length), so hot ack paths avoid a fresh slice per call.
+// With max > 0 the cap applies to the total length of dst.
+func (s *RangeSet) AppendAbove(dst []Range, seq int64, max int) []Range {
+	for i := len(s.rs) - 1; i >= 0 && (max <= 0 || len(dst) < max); i-- {
 		r := s.rs[i]
 		if r.End <= seq {
 			break
@@ -116,10 +129,19 @@ func (s *RangeSet) Above(seq int64, max int) []Range {
 			r.Start = seq
 		}
 		if r.Len() > 0 {
-			out = append(out, r)
+			dst = append(dst, r)
 		}
 	}
-	return out
+	return dst
+}
+
+// Last returns the highest range in the set, without copying the set the way
+// Ranges does.
+func (s *RangeSet) Last() (Range, bool) {
+	if len(s.rs) == 0 {
+		return Range{}, false
+	}
+	return s.rs[len(s.rs)-1], true
 }
 
 // Covered returns the total units covered by the set.

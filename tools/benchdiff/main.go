@@ -1,0 +1,106 @@
+// Command benchdiff compares two BENCH_*.json baseline files (the schema
+// this repository records at each PR) and prints per-benchmark ratios, so a
+// perf PR's claims can be checked with one command:
+//
+//	go run ./tools/benchdiff BENCH_pr2.json BENCH_pr3.json
+//
+// Ratios are new/old: below 1.0 is faster (or fewer allocations). Benchmarks
+// present in only one file are listed separately.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// benchFile mirrors the BENCH_*.json schema.
+type benchFile struct {
+	PR         int     `json:"pr"`
+	Date       string  `json:"date"`
+	Go         string  `json:"go"`
+	CPU        string  `json:"cpu"`
+	Benchtime  string  `json:"benchtime"`
+	Note       string  `json:"note,omitempty"`
+	Benchmarks []entry `json:"benchmarks"`
+}
+
+type entry struct {
+	Pkg         string  `json:"pkg"`
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+	VotesPerOp  float64 `json:"votes_per_op,omitempty"`
+}
+
+func (e entry) key() string { return e.Pkg + "." + e.Name }
+
+func load(path string) (benchFile, error) {
+	var f benchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, err
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("%s: %w", path, err)
+	}
+	return f, nil
+}
+
+func ratio(new, old float64) string {
+	if old == 0 {
+		return "    -"
+	}
+	return fmt.Sprintf("%5.2f", new/old)
+}
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff OLD.json NEW.json\n")
+		os.Exit(2)
+	}
+	oldF, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	newF, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	if oldF.CPU != newF.CPU {
+		fmt.Printf("note: different CPUs (%q vs %q); compare ratios with care\n", oldF.CPU, newF.CPU)
+	}
+
+	newByKey := make(map[string]entry, len(newF.Benchmarks))
+	for _, e := range newF.Benchmarks {
+		newByKey[e.key()] = e
+	}
+
+	fmt.Printf("%-44s %14s %14s %7s %7s\n", "benchmark (pr"+itoa(oldF.PR)+" -> pr"+itoa(newF.PR)+")",
+		"old ns/op", "new ns/op", "ns x", "alloc x")
+	matched := make(map[string]bool)
+	for _, o := range oldF.Benchmarks {
+		n, ok := newByKey[o.key()]
+		if !ok {
+			continue
+		}
+		matched[o.key()] = true
+		fmt.Printf("%-44s %14.0f %14.0f %7s %7s\n",
+			o.Name, o.NsPerOp, n.NsPerOp, ratio(n.NsPerOp, o.NsPerOp), ratio(n.AllocsPerOp, o.AllocsPerOp))
+	}
+	for _, o := range oldF.Benchmarks {
+		if !matched[o.key()] {
+			fmt.Printf("%-44s only in %s\n", o.Name, os.Args[1])
+		}
+	}
+	for _, n := range newF.Benchmarks {
+		if !matched[n.key()] {
+			fmt.Printf("%-44s only in %s (%0.f ns/op)\n", n.Name, os.Args[2], n.NsPerOp)
+		}
+	}
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
