@@ -7,6 +7,7 @@ package repro_test
 // full-size artifacts.
 
 import (
+	"context"
 	"io"
 	"testing"
 	"time"
@@ -165,8 +166,11 @@ func BenchmarkPopRatingExperiment(b *testing.B) {
 	}
 	for i := 0; i < b.N; i++ {
 		tb := core.NewTestbed(benchScale(), 9)
-		tb.Prewarm(e.Conditions())
-		if _, err := e.Run(tb, experiments.Options{Scale: benchScale(), Seed: 9}); err != nil {
+		nets, prots := e.Conditions()
+		if err := tb.Prewarm(context.Background(), nets, prots); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := e.Run(context.Background(), tb, experiments.Options{Scale: benchScale(), Seed: 9}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -2,7 +2,8 @@
 // point and reports how the QUIC-vs-TCP gap — and the share of users who
 // would notice it — changes, locating the noticeability crossover the
 // paper's conclusion describes ("if network speeds increase, the difficulty
-// of spotting a difference rises").
+// of spotting a difference rises"). Built on the public qoe SDK's Sweep
+// facade; Ctrl-C cancels between sweep steps.
 //
 // Usage:
 //
@@ -10,15 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
-	"repro/internal/simnet"
-	"repro/internal/sweep"
-	"repro/internal/webpage"
+	"repro/pkg/qoe"
 )
 
 func main() {
@@ -31,25 +32,23 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	flag.Parse()
 
-	var dim sweep.Dimension
 	switch *dimName {
-	case "speed":
-		dim = sweep.Speed
-	case "bandwidth":
-		dim = sweep.Bandwidth
-	case "rtt":
-		dim = sweep.RTT
-	case "loss":
-		dim = sweep.Loss
+	case "speed", "bandwidth", "rtt", "loss":
 	default:
 		fmt.Fprintf(os.Stderr, "netsweep: unknown dimension %q\n", *dimName)
 		os.Exit(2)
 	}
-	base, err := simnet.NetworkByName(*baseName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "netsweep:", err)
+	validBase := false
+	for _, name := range qoe.NetworkNames() {
+		if name == *baseName {
+			validBase = true
+		}
+	}
+	if !validBase {
+		fmt.Fprintf(os.Stderr, "netsweep: unknown network %q (have: %v)\n", *baseName, qoe.NetworkNames())
 		os.Exit(2)
 	}
+
 	var values []float64
 	for _, s := range strings.Split(*valuesArg, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
@@ -60,15 +59,17 @@ func main() {
 		values = append(values, v)
 	}
 
-	res, err := sweep.Run(sweep.Config{
-		Dim:    dim,
-		Base:   base,
-		Values: values,
-		ProtoA: *protoA,
-		ProtoB: *protoB,
-		Sites:  webpage.LabCorpus(),
-		Reps:   *reps,
-		Seed:   *seed,
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	res, err := qoe.Sweep(ctx, qoe.SweepRequest{
+		Dimension: *dimName,
+		Base:      *baseName,
+		ProtoA:    *protoA,
+		ProtoB:    *protoB,
+		Values:    values,
+		Reps:      *reps,
+		Seed:      *seed,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "netsweep:", err)
@@ -76,7 +77,7 @@ func main() {
 	}
 	res.Render(os.Stdout)
 	if v, ok := res.Crossover(0.55); ok {
-		fmt.Printf("\nnoticeability crossover (< 55%% of the panel votes a side): %s = %g\n", dim, v)
+		fmt.Printf("\nnoticeability crossover (< 55%% of the panel votes a side): %s = %g\n", res.Dimension, v)
 	} else {
 		fmt.Printf("\nno noticeability crossover within the swept range\n")
 	}

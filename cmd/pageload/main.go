@@ -1,6 +1,7 @@
 // Command pageload loads a single site from the corpus under one network
 // and protocol configuration and prints the visual metrics and transport
-// counters — the smallest way to poke at the testbed.
+// counters — the smallest way to poke at the testbed, through the public
+// qoe SDK.
 //
 // Usage:
 //
@@ -13,15 +14,12 @@ import (
 	"os"
 	"time"
 
-	"repro/internal/browser"
-	"repro/internal/core"
-	"repro/internal/simnet"
-	"repro/internal/webpage"
+	"repro/pkg/qoe"
 )
 
 func main() {
 	siteName := flag.String("site", "wikipedia.org", "site from the 36-site corpus")
-	netName := flag.String("net", "DSL", "network: DSL, LTE, DA2GC, MSS")
+	netName := flag.String("net", "DSL", "network: DSL, LTE, DA2GC, MSS, or a scenario-library name")
 	protoName := flag.String("proto", "QUIC", "protocol: TCP, TCP+, TCP+BBR, QUIC, QUIC+BBR, QUIC-0RTT")
 	seed := flag.Int64("seed", 1, "random seed")
 	trace := flag.Bool("trace", false, "print the visual-progress trace")
@@ -29,42 +27,35 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, s := range webpage.Corpus() {
+		for _, s := range qoe.Sites() {
 			fmt.Printf("%-20s %4d objects %8.1f KB %3d hosts\n",
-				s.Name, len(s.Objects), float64(s.TotalBytes())/1024, s.HostCount())
+				s.Name, s.Objects, float64(s.Bytes)/1024, s.Hosts)
 		}
 		return
 	}
 
-	site := webpage.ByName(*siteName)
-	if site == nil {
-		fmt.Fprintf(os.Stderr, "pageload: unknown site %q (try -list)\n", *siteName)
-		os.Exit(2)
-	}
-	net, err := simnet.NetworkByName(*netName)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "pageload:", err)
-		os.Exit(2)
-	}
-	proto, err := core.Protocol(*protoName, net)
+	res, err := qoe.LoadPage(qoe.PageLoad{
+		Site:     *siteName,
+		Network:  *netName,
+		Protocol: *protoName,
+		Seed:     *seed,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pageload:", err)
 		os.Exit(2)
 	}
 
-	res := browser.Load(site, browser.Config{Network: net, Proto: proto, Seed: *seed})
-	r := res.Report
-	fmt.Printf("%s over %s via %s (seed %d)\n", site.Name, net.Name, proto.Name(), *seed)
+	fmt.Printf("%s over %s via %s (seed %d)\n", res.Site, res.Network, res.Protocol, *seed)
 	fmt.Printf("  objects %d/%d  conns %d  retransmissions %d  rtos %d  complete %v\n",
-		res.Objects, len(site.Objects), res.Conns, res.Retransmissions, res.RTOs, res.Trace.Completed)
-	fmt.Printf("  FVC  %10s\n", r.FVC.Round(time.Millisecond))
-	fmt.Printf("  SI   %10s\n", r.SI.Round(time.Millisecond))
-	fmt.Printf("  VC85 %10s\n", r.VC85.Round(time.Millisecond))
-	fmt.Printf("  LVC  %10s\n", r.LVC.Round(time.Millisecond))
-	fmt.Printf("  PLT  %10s\n", r.PLT.Round(time.Millisecond))
+		res.Objects, res.ObjectsTotal, res.Conns, res.Retransmissions, res.RTOs, res.Complete)
+	fmt.Printf("  FVC  %10s\n", res.FVC.Round(time.Millisecond))
+	fmt.Printf("  SI   %10s\n", res.SI.Round(time.Millisecond))
+	fmt.Printf("  VC85 %10s\n", res.VC85.Round(time.Millisecond))
+	fmt.Printf("  LVC  %10s\n", res.LVC.Round(time.Millisecond))
+	fmt.Printf("  PLT  %10s\n", res.PLT.Round(time.Millisecond))
 	if *trace {
 		fmt.Println("  visual progress:")
-		for _, p := range res.Trace.Points {
+		for _, p := range res.Trace {
 			fmt.Printf("    %10s  %5.1f%%\n", p.T.Round(time.Millisecond), p.VC*100)
 		}
 	}

@@ -4,65 +4,69 @@
 // Usage:
 //
 //	qoebench [-scale quick|standard|paper] [-seed N] [-format text|csv|json]
-//	         [-parallel N] <experiment> [experiment ...]
+//	         [-parallel N] [-stream] <experiment> [experiment ...]
 //	qoebench -list
 //
-// Experiments are discovered from the registry in internal/experiments
+// Experiments are discovered from the public SDK's registry catalog
 // (qoebench -list prints them); the pseudo-name "all" selects every one.
-// All selected experiments run through internal/runner against one shared
+// All selected experiments run through one qoe.Session against one shared
 // testbed: the recording plans they declare are merged into a single prewarm
 // pass so each (site × network × protocol) condition is simulated exactly
 // once for the whole batch, and -parallel bounds how many experiments run
 // concurrently. Each experiment's seed is derived deterministically from
-// -seed and its name, so output is reproducible and independent of both
-// -parallel and which other experiments run alongside.
+// -seed and its name, so document output is reproducible and independent of
+// both -parallel and which other experiments run alongside.
 //
-// The pop-* experiments (pop-ab, pop-rating, pop-sweep) run the paper's
-// study designs over a population-scale synthetic crowd on the scenario
-// library — over a million streamed votes per run at any -scale, with
-// memory bounded by the stimulus grid (see internal/population).
+// -stream replaces the whole-document renderings with the SDK's versioned
+// NDJSON event stream (schema_version 1): one JSON object per line of type
+// "row", "progress", or "summary" — the wire format downstream services
+// consume incrementally instead of parsing finished tables. Row and summary
+// lines are deterministic like the documents; progress lines report
+// completion order, so pin -parallel 1 when diffing whole streams.
+//
+// The run honors interruption: Ctrl-C cancels the session context, which
+// stops the prewarm between conditions, skips unstarted experiments, and
+// winds population shard loops down promptly.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"runtime/trace"
 
-	"repro/internal/core"
-	"repro/internal/runner"
-
-	"repro/internal/experiments"
+	"repro/pkg/qoe"
 )
 
 func main() {
 	scale := flag.String("scale", "quick", "testbed scale: quick (5 lab sites x5 reps), standard (36 sites x7), paper (36 x31)")
 	seed := flag.Int64("seed", 1, "master random seed (per-experiment seeds are derived from it)")
 	format := flag.String("format", "text", "output format for every experiment: text, csv or json")
-	parallel := flag.Int("parallel", 0, "max experiments running concurrently (0 = GOMAXPROCS, 1 = sequential)")
+	parallel := flag.Int("parallel", 0, "max experiments running concurrently (0 = all cores, 1 = sequential)")
+	stream := flag.Bool("stream", false, "emit the schema_version 1 NDJSON event stream instead of -format documents")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file` (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
 	benchTrace := flag.String("bench-trace", "", "write a runtime execution trace of the run to `file` (go tool trace)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qoebench [-scale quick|standard|paper] [-seed N] [-format text|csv|json] [-parallel N] <experiment> [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: qoebench [-scale quick|standard|paper] [-seed N] [-format text|csv|json] [-parallel N] [-stream] <experiment> [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       qoebench -list\n")
-		fmt.Fprintf(os.Stderr, "experiments: %v all\n", experiments.Names())
+		fmt.Fprintf(os.Stderr, "experiments: %v all\n", qoe.ExperimentNames())
 		flag.PrintDefaults()
 	}
 	flag.Parse()
 
 	if *list {
-		for _, name := range experiments.Names() {
-			e, _ := experiments.Lookup(name)
-			nets, prots := e.Conditions()
-			if len(nets) == 0 && len(prots) == 0 {
-				fmt.Printf("%-14s (no recordings)\n", name)
+		for _, info := range qoe.Experiments() {
+			if info.Networks == 0 && info.Protocols == 0 {
+				fmt.Printf("%-14s (no recordings)\n", info.Name)
 				continue
 			}
-			fmt.Printf("%-14s records %d networks x %d protocols\n", name, len(nets), len(prots))
+			fmt.Printf("%-14s records %d networks x %d protocols\n", info.Name, info.Networks, info.Protocols)
 		}
 		return
 	}
@@ -71,46 +75,64 @@ func main() {
 		os.Exit(2)
 	}
 
-	var sc core.Scale
-	switch *scale {
-	case "quick":
-		sc = core.QuickScale()
-	case "standard":
-		sc = core.StandardScale()
-	case "paper":
-		sc = core.PaperScale()
-	default:
+	sc, err := qoe.ParseScale(*scale)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scale)
 		os.Exit(2)
 	}
-	switch runner.Format(*format) {
-	case runner.Text, runner.CSV, runner.JSON:
+	var sink qoe.Sink
+	switch *format {
+	case "text":
+		sink = qoe.TextSink(os.Stdout)
+	case "csv":
+		sink = qoe.CSVSink(os.Stdout)
+	case "json":
+		sink = qoe.JSONSink(os.Stdout)
 	default:
 		fmt.Fprintf(os.Stderr, "unknown format %q\n", *format)
 		os.Exit(2)
 	}
+	if *stream {
+		// -stream replaces the document renderings wholesale; an explicit
+		// -format alongside it is a contradiction, not an override.
+		formatSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "format" {
+				formatSet = true
+			}
+		})
+		if formatSet {
+			fmt.Fprintln(os.Stderr, "qoebench: -stream and -format are mutually exclusive")
+			os.Exit(2)
+		}
+		sink = qoe.StreamSink(os.Stdout)
+	}
 
-	exps, err := experiments.Select(flag.Args()...)
+	sess, err := qoe.NewSession(
+		qoe.WithScale(sc),
+		qoe.WithSeed(*seed),
+		qoe.WithParallelism(*parallel),
+		qoe.WithScenarios(flag.Args()...),
+	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qoebench: %v\n", err)
 		os.Exit(2)
 	}
 
-	rep := runProfiled(exps, runner.Options{
-		Scale:    sc,
-		Seed:     *seed,
-		Parallel: *parallel,
-		Format:   runner.Format(*format),
-	}, *cpuprofile, *memprofile, *benchTrace)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
-	if err := rep.WriteOutputs(os.Stdout); err != nil {
+	summary, err := runProfiled(ctx, sess, sink, *cpuprofile, *memprofile, *benchTrace)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "qoebench: %v\n", err)
 		os.Exit(1)
 	}
-	// Stdout carries only the experiment artifacts, which are byte-identical
-	// for any -parallel setting; the accounting line includes wall-clock
-	// timings, so it goes to stderr.
-	fmt.Fprintln(os.Stderr, rep.Summary())
+	// Stdout carries only the experiment artifacts. For the document formats
+	// they are byte-identical at any -parallel setting; for -stream the row
+	// and summary lines are too, while progress lines interleave in
+	// completion order (use -parallel 1 to pin the whole stream). The
+	// accounting line includes wall-clock timings, so it goes to stderr.
+	fmt.Fprintln(os.Stderr, summary)
 }
 
 // runProfiled brackets the measured run (prewarm + experiments) with the
@@ -118,11 +140,11 @@ func main() {
 // editing code. Stops are deferred: if an experiment panics, the CPU profile
 // and trace are still finalized and readable — exactly the runs a profile is
 // most wanted for.
-func runProfiled(exps []experiments.Experiment, opts runner.Options, cpuPath, memPath, tracePath string) runner.Report {
+func runProfiled(ctx context.Context, sess *qoe.Session, sink qoe.Sink, cpuPath, memPath, tracePath string) (qoe.Summary, error) {
 	stop := startProfiling(cpuPath, tracePath)
 	defer stop()
 	defer writeMemProfile(memPath)
-	return runner.Run(exps, opts)
+	return sess.Run(ctx, sink)
 }
 
 // startProfiling begins CPU profiling and/or execution tracing and returns a

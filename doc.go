@@ -9,21 +9,42 @@
 //
 // Entry points:
 //
+//	pkg/qoe       — the public, versioned SDK: everything below reaches the
+//	                system through it
 //	cmd/qoebench  — regenerate every table and figure of the evaluation
+//	                (add -stream for the schema_version 1 NDJSON row stream)
 //	cmd/pageload  — load one site under one configuration
-//	examples/     — runnable API tours
+//	cmd/netsweep  — locate the noticeability crossover along one dimension
+//	examples/     — runnable SDK tours (examples/quickstart is the
+//	                one-minute Session.Run(ctx, sink) introduction)
+//
+// The SDK's pivot is qoe.Session: functional options (WithScenarios,
+// WithScale, WithSeed, WithParallelism) select and configure a run, and
+// Session.Run(ctx, sink) executes it with full context plumbing —
+// cancellation stops the testbed prewarm between conditions, skips
+// unstarted experiments, and winds million-vote population shard loops down
+// within one participant's worth of work. Results stream to a qoe.Sink as
+// typed events (RowEvent / ProgressEvent / SummaryEvent, wire-versioned via
+// qoe.SchemaVersion); adapter sinks reproduce the classic text/CSV/JSON
+// documents byte-for-byte, which is how the goldens and qoebench's output
+// survive the redesign unchanged. A surface guard test keeps cmd/ and
+// examples/ from importing internal packages directly.
 //
 // Experiments are first-class: each table, figure, ablation, and extension
 // registers itself in internal/experiments as an Experiment (declaring the
-// recording conditions it needs, running against a caller-supplied shared
-// core.Testbed, and returning a Result that renders as text, CSV, or JSON).
-// internal/runner executes any set of registered experiments off one shared
-// testbed: it merges their declared condition grids into a single prewarm
-// plan, records each (site × network × protocol) condition exactly once
-// (the testbed's singleflight cache deduplicates concurrent misses), and
-// runs the experiments on a bounded worker pool with deterministic
-// per-experiment seeds — so `qoebench all` does the transport/browser
-// simulation work once, not once per experiment.
+// recording conditions it needs, running under a context against a
+// caller-supplied shared core.Testbed, and returning a Result that renders
+// as text, CSV, or JSON). internal/runner executes any set of registered
+// experiments off one shared testbed: it merges their declared condition
+// grids into a single prewarm plan, records each (site × network ×
+// protocol) condition exactly once (the testbed's singleflight cache
+// deduplicates concurrent misses), and runs the experiments on a bounded
+// worker pool with deterministic per-experiment seeds — so `qoebench all`
+// does the transport/browser simulation work once, not once per experiment.
+// RunContext streams completed results to hooks in input order, which is
+// what Session builds its ordered event stream on; the old batch-only
+// runner.Run and the per-experiment convenience functions remain as
+// deprecated shims for one release.
 //
 // The event core is allocation-free in steady state: simulator timers,
 // link frames, wire packets, and in-flight records all come from free lists

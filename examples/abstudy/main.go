@@ -1,60 +1,35 @@
-// abstudy: run a miniature "do users notice?" study — record typical videos
-// for QUIC vs. stock TCP on two networks, compose side-by-side stimuli, and
-// let a simulated crowd vote (Study 1 of the paper).
+// abstudy: run a miniature "do users notice?" study through the SDK's
+// CompareAB facade — record typical videos for QUIC vs. stock TCP on two
+// networks, compose the side-by-side stimulus, and let a simulated crowd
+// vote (Study 1 of the paper).
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 	"time"
 
-	"repro/internal/httpsim"
-	"repro/internal/participant"
-	"repro/internal/quicsim"
-	"repro/internal/simnet"
-	"repro/internal/study"
-	"repro/internal/tcpsim"
-	"repro/internal/video"
-	"repro/internal/webpage"
+	"repro/pkg/qoe"
 )
 
 func main() {
-	site := webpage.ByName("etsy.com")
-	rng := rand.New(rand.NewSource(7))
-
-	for _, net := range []simnet.NetworkConfig{simnet.DSL, simnet.MSS} {
-		// Record both stacks a few times and pick the typical video each.
-		quicRecs := video.Record(site, net, httpsim.QUICStack{Opts: quicsim.Stock()}, 5, 100)
-		tcpRecs := video.Record(site, net, httpsim.TCPStack{Opts: tcpsim.Stock()}, 5, 100)
-		quic, err := video.SelectTypical(quicRecs)
+	ctx := context.Background()
+	for _, net := range []string{"DSL", "MSS"} {
+		out, err := qoe.CompareAB(ctx, qoe.ABStudy{
+			Site:    "etsy.com",
+			Network: net,
+			ProtoA:  "QUIC",
+			ProtoB:  "TCP",
+			Voters:  200,
+			Seed:    7,
+		})
 		if err != nil {
 			panic(err)
-		}
-		tcp, err := video.SelectTypical(tcpRecs)
-		if err != nil {
-			panic(err)
-		}
-		ab, err := video.NewABVideo(quic, tcp) // QUIC left, TCP right
-		if err != nil {
-			panic(err)
-		}
-
-		votes := map[study.Vote]int{}
-		replays := 0
-		const n = 200
-		for i := 0; i < n; i++ {
-			m := participant.New(study.Microworker, rng)
-			v, _, rep := m.ABVote(ab.Left.Report, ab.Right.Report)
-			votes[v]++
-			replays += rep
 		}
 		fmt.Printf("%s on %-5s  SI %8s vs %8s   ->  QUIC %2.0f%%  no-diff %2.0f%%  TCP %2.0f%%  (avg replays %.2f)\n",
-			site.Name, net.Name,
-			quic.Report.SI.Round(10*time.Millisecond), tcp.Report.SI.Round(10*time.Millisecond),
-			100*float64(votes[study.VoteLeft])/n,
-			100*float64(votes[study.VoteNoDifference])/n,
-			100*float64(votes[study.VoteRight])/n,
-			float64(replays)/n)
+			out.Site, out.Network,
+			out.SIA.Round(10*time.Millisecond), out.SIB.Round(10*time.Millisecond),
+			100*out.ShareA, 100*out.ShareNone, 100*out.ShareB, out.MeanReplays)
 	}
 	fmt.Println("\nQUIC vs. stock TCP is the one pairing the paper's participants could")
 	fmt.Println("spot even on DSL (the full harness shows the other pairings drowning")

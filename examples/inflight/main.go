@@ -2,43 +2,58 @@
 // two emulated in-flight WiFi networks (air-to-ground cellular and
 // satellite), where protocol design differences actually become visible,
 // including the DA2GC inversion (stock TCP beating the tuned TCP+) and
-// BBR's advantage under random loss.
+// BBR's advantage under random loss. Every load goes through the SDK's
+// LoadPage facade over the lab corpus.
 package main
 
 import (
 	"fmt"
 	"time"
 
-	"repro/internal/browser"
-	"repro/internal/core"
-	"repro/internal/simnet"
-	"repro/internal/stats"
-	"repro/internal/webpage"
+	"repro/pkg/qoe"
 )
 
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
 func main() {
-	sites := webpage.LabCorpus()
-	for _, net := range []simnet.NetworkConfig{simnet.DA2GC, simnet.MSS} {
+	nets := map[string]qoe.NetworkInfo{}
+	for _, n := range qoe.Networks() {
+		nets[n.Name] = n
+	}
+	for _, netName := range []string{"DA2GC", "MSS"} {
+		info := nets[netName]
 		fmt.Printf("%s  (%.3f Mbps, %v RTT, %.1f%% loss)\n",
-			net.Name, float64(net.DownlinkBps)/1e6, net.MinRTT, net.LossRate*100)
+			info.Name, float64(info.DownlinkBps)/1e6, info.MinRTT, info.LossRate*100)
 		fmt.Printf("  %-9s %10s %10s %8s\n", "Protocol", "mean SI", "mean FVC", "retx")
-		for _, name := range core.ProtocolNames() {
+		for _, proto := range qoe.ProtocolNames() {
 			var sis, fvcs, retx []float64
-			for _, site := range sites {
+			for _, site := range qoe.LabSites() {
 				for rep := 0; rep < 3; rep++ {
-					res := browser.Load(site, browser.Config{
-						Network: net, Proto: core.MustProtocol(name, net),
+					res, err := qoe.LoadPage(qoe.PageLoad{
+						Site: site.Name, Network: netName, Protocol: proto,
 						Seed: int64(rep)*131 + 5, MaxLoadTime: 4 * time.Minute,
 					})
-					if res.Report.Complete {
-						sis = append(sis, res.Report.SI.Seconds())
-						fvcs = append(fvcs, res.Report.FVC.Seconds())
+					if err != nil {
+						panic(err)
+					}
+					if res.Complete {
+						sis = append(sis, res.SI.Seconds())
+						fvcs = append(fvcs, res.FVC.Seconds())
 						retx = append(retx, float64(res.Retransmissions))
 					}
 				}
 			}
 			fmt.Printf("  %-9s %9.1fs %9.1fs %8.0f\n",
-				name, stats.Mean(sis), stats.Mean(fvcs), stats.Mean(retx))
+				proto, mean(sis), mean(fvcs), mean(retx))
 		}
 		fmt.Println()
 	}

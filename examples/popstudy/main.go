@@ -1,61 +1,43 @@
 // popstudy: put a synthetic crowd of 200,000 µWorkers on one A/B comparison
-// per scenario-library network and watch the paper's central gradient emerge
-// at population scale — the faster the network, the fewer people can tell
-// QUIC from stock TCP. Every vote streams through online aggregators
-// (internal/population), so memory stays flat no matter the crowd size.
+// per network — the four Table 2 operating points plus the whole scenario
+// library — and watch the paper's central gradient emerge at population
+// scale: the faster the network, the fewer people can tell QUIC from stock
+// TCP. CompareAB streams every vote through online aggregators, so memory
+// stays flat no matter the crowd size.
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"repro/internal/browser"
-	"repro/internal/core"
-	"repro/internal/population"
-	"repro/internal/simnet"
-	"repro/internal/study"
-	"repro/internal/webpage"
+	"repro/pkg/qoe"
 )
 
 func main() {
-	site := webpage.ByName("etsy.com")
+	ctx := context.Background()
+	site := "etsy.com"
 	const crowd = 200_000
 
-	fmt.Printf("QUIC vs. TCP on %s, %d synthetic µWorkers per scenario\n\n", site.Name, crowd)
+	fmt.Printf("QUIC vs. TCP on %s, %d synthetic µWorkers per scenario\n\n", site, crowd)
 	fmt.Printf("%-16s %10s %10s %6s %22s\n", "Scenario", "SI(QUIC)", "SI(TCP)", "gap", "noticed [99% CI]")
-	for _, net := range simnet.AllNetworks() {
-		load := func(proto string) browser.Result {
-			return browser.Load(site, browser.Config{
-				Network: net, Proto: core.MustProtocol(proto, net),
-				Seed: 17, MaxLoadTime: 4 * time.Minute,
-			})
-		}
-		quic, tcp := load("QUIC"), load("TCP")
-
-		cell := population.ABCell{
-			Label:   net.Name,
-			Left:    quic.Report,
-			Right:   tcp.Report,
-			AOnLeft: true,
-		}
-		res, err := population.RunAB([]population.ABCell{cell}, population.Config{
-			Group:               study.Microworker,
-			Participants:        crowd,
-			VotesPerParticipant: 1,
-			Seed:                core.DeriveSeed(17, net.Name),
+	for _, net := range append(qoe.Networks(), qoe.Scenarios()...) {
+		out, err := qoe.CompareAB(ctx, qoe.ABStudy{
+			Site:       site,
+			Network:    net.Name,
+			ProtoA:     "QUIC",
+			ProtoB:     "TCP",
+			Recordings: 1,
+			Voters:     crowd,
+			Seed:       qoe.DeriveSeed(17, net.Name),
 		})
 		if err != nil {
 			panic(err)
 		}
-		noticed := res.Cells[0].Noticed()
-		ci, err := noticed.CI(0.99)
-		if err != nil {
-			panic(err)
-		}
 		fmt.Printf("%-16s %10s %10s %5.2fx   %5.1f%% [%5.1f,%5.1f]%%\n",
-			net.Name, quic.Report.SI.Round(10*time.Millisecond), tcp.Report.SI.Round(10*time.Millisecond),
-			float64(tcp.Report.SI)/float64(quic.Report.SI),
-			100*ci.Point, 100*ci.Lo, 100*ci.Hi)
+			out.Network, out.SIA.Round(10*time.Millisecond), out.SIB.Round(10*time.Millisecond),
+			float64(out.SIB)/float64(out.SIA),
+			100*out.Noticed.Point, 100*out.Noticed.Lo, 100*out.Noticed.Hi)
 	}
 	fmt.Println("\nWith 200k voters the 99% intervals shrink to fractions of a point:")
 	fmt.Println("at population scale the paper's quick-networks-hide-the-protocol")

@@ -1,37 +1,53 @@
-// Quickstart: load one website under every Table 1 protocol on DSL and
-// compare the visual metrics — the one-minute tour of the testbed API.
+// Quickstart: the one-minute tour of the public qoe SDK. First load one
+// website under every Table 1 protocol on DSL and compare the visual
+// metrics; then run the configuration tables through the streaming Session
+// API — the same context-aware, sink-driven entry point every experiment,
+// command, and service integration uses:
+//
+//	sess, _ := qoe.NewSession(qoe.WithScenarios("table1", "table2"))
+//	summary, _ := sess.Run(ctx, qoe.TextSink(os.Stdout))
 package main
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"time"
 
-	"repro/internal/browser"
-	"repro/internal/core"
-	"repro/internal/simnet"
-	"repro/internal/webpage"
+	"repro/pkg/qoe"
 )
 
 func main() {
-	site := webpage.ByName("wikipedia.org")
-	net := simnet.DSL
+	ctx := context.Background()
+	site, net := "wikipedia.org", "DSL"
 
-	fmt.Printf("Loading %s (%d objects, %.0f KB, %d hosts) over %s\n\n",
-		site.Name, len(site.Objects), float64(site.TotalBytes())/1024, site.HostCount(), net.Name)
+	fmt.Printf("Loading %s over %s under every Table 1 stack\n\n", site, net)
 	fmt.Printf("%-9s %9s %9s %9s %9s %6s\n", "Protocol", "FVC", "SI", "LVC", "PLT", "retx")
-	for _, name := range core.ProtocolNames() {
-		res := browser.Load(site, browser.Config{
-			Network: net,
-			Proto:   core.MustProtocol(name, net),
-			Seed:    42,
-		})
-		r := res.Report
+	for _, name := range qoe.ProtocolNames() {
+		res, err := qoe.LoadPage(qoe.PageLoad{Site: site, Network: net, Protocol: name, Seed: 42})
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("%-9s %9s %9s %9s %9s %6d\n", name,
-			r.FVC.Round(time.Millisecond), r.SI.Round(time.Millisecond),
-			r.LVC.Round(time.Millisecond), r.PLT.Round(time.Millisecond),
+			res.FVC.Round(time.Millisecond), res.SI.Round(time.Millisecond),
+			res.LVC.Round(time.Millisecond), res.PLT.Round(time.Millisecond),
 			res.Retransmissions)
 	}
 	fmt.Println("\nQUIC's 1-RTT handshake shows up directly in FVC; on a clean, fast")
 	fmt.Println("network the differences stay well under half a second — which is why")
 	fmt.Println("the paper's users mostly could not tell the stacks apart on DSL.")
+
+	// The Session API: select experiments, run them against one shared
+	// testbed, and stream the results to a sink. TextSink renders the
+	// classic tables; StreamSink would emit schema_version 1 NDJSON rows.
+	fmt.Println()
+	sess, err := qoe.NewSession(qoe.WithScenarios("table1", "table2"), qoe.WithSeed(1))
+	if err != nil {
+		panic(err)
+	}
+	summary, err := sess.Run(ctx, qoe.TextSink(os.Stdout))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("session ran %d experiments in %v\n", summary.Experiments, summary.Total.Round(time.Millisecond))
 }

@@ -1,57 +1,42 @@
-// ratingstudy: run a miniature "do users care?" study — have a simulated
-// crowd rate single videos of the same site under all five stacks (Study 2
-// of the paper) and test the protocol effect with a one-way ANOVA.
+// ratingstudy: run a miniature "do users care?" study through the SDK's
+// RatePanel facade — have a simulated crowd rate single videos of the same
+// site under all five stacks (Study 2 of the paper) and test the protocol
+// effect with a one-way ANOVA.
 package main
 
 import (
+	"context"
 	"fmt"
-	"math/rand"
 
-	"repro/internal/browser"
-	"repro/internal/core"
-	"repro/internal/participant"
-	"repro/internal/simnet"
-	"repro/internal/stats"
-	"repro/internal/study"
-	"repro/internal/webpage"
+	"repro/pkg/qoe"
 )
 
 func main() {
-	site := webpage.ByName("nytimes.com")
-	net := simnet.LTE
-	env := study.FreeTime
-	rng := rand.New(rand.NewSource(3))
-
-	fmt.Printf("Rating %s over %s (%v framing), 150 crowd votes per stack\n\n", site.Name, net.Name, env)
-	var groups [][]float64
-	for _, name := range core.ProtocolNames() {
-		res := browser.Load(site, browser.Config{Network: net, Proto: core.MustProtocol(name, net), Seed: 11})
-		var votes []float64
-		for i := 0; i < 150; i++ {
-			m := participant.New(study.Microworker, rng)
-			speed, _ := m.Rate(res.Report, env)
-			votes = append(votes, speed)
-		}
-		ci, err := stats.MeanCI(votes, 0.99)
-		if err != nil {
-			panic(err)
-		}
-		groups = append(groups, votes)
-		fmt.Printf("%-9s  mean %5.1f  99%% CI [%5.1f, %5.1f]  -> %q\n",
-			name, ci.Point, ci.Lo, ci.Hi, study.ScaleLabel(ci.Point))
-	}
-
-	an, err := stats.OneWayANOVA(groups...)
+	out, err := qoe.RatePanel(context.Background(), qoe.RatingPanel{
+		Site:        "nytimes.com",
+		Network:     "LTE",
+		Environment: "Free Time",
+		Voters:      150,
+		Seed:        3,
+	})
 	if err != nil {
 		panic(err)
 	}
-	fmt.Printf("\nANOVA across the five stacks: %v\n", an)
+
+	fmt.Printf("Rating %s over %s (%s framing), %d crowd votes per stack\n\n",
+		out.Site, out.Network, out.Environment, 150)
+	for _, r := range out.Ratings {
+		fmt.Printf("%-9s  mean %5.1f  99%% CI [%5.1f, %5.1f]  -> %q\n",
+			r.Protocol, r.Mean.Point, r.Mean.Lo, r.Mean.Hi, r.Label)
+	}
+
+	fmt.Printf("\nANOVA across the five stacks: %v\n", out.ANOVA)
 	switch {
-	case an.Significant(0.99):
+	case out.ANOVA.Significant(0.99):
 		fmt.Println("-> significant for THIS single site: this is the paper's per-website")
 		fmt.Println("   drill-down ('where it makes a difference'). Pooled across all")
 		fmt.Println("   sites (qoebench fig5), the protocol effect disappears at 99%.")
-	case an.Significant(0.90):
+	case out.ANOVA.Significant(0.90):
 		fmt.Println("-> significant only at the 90% level, matching the paper's marginal cases")
 	default:
 		fmt.Println("-> not significant: users do not care which stack delivered the page")

@@ -12,6 +12,7 @@ package repro_test
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -21,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/runner"
+	"repro/pkg/qoe"
 )
 
 var update = flag.Bool("update", false, "rewrite testdata/golden files with current output")
@@ -43,14 +45,16 @@ func TestGoldenOutputs(t *testing.T) {
 	tb := core.NewTestbed(scale, goldenSeed)
 	nets, prots := runner.MergePlan(exps)
 	if len(nets) > 0 && len(prots) > 0 {
-		tb.Prewarm(nets, prots)
+		if err := tb.Prewarm(context.Background(), nets, prots); err != nil {
+			t.Fatal(err)
+		}
 	}
 
 	for _, e := range exps {
 		e := e
 		t.Run(e.Name(), func(t *testing.T) {
 			opts := experiments.Options{Scale: scale, Seed: core.DeriveSeed(goldenSeed, e.Name())}
-			res, err := e.Run(tb, opts)
+			res, err := e.Run(context.Background(), tb, opts)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -63,6 +67,32 @@ func TestGoldenOutputs(t *testing.T) {
 			checkGolden(t, e.Name()+".csv", csv.Bytes())
 		})
 	}
+}
+
+// TestGoldenStreamEncoding pins the pkg/qoe schema_version 1 NDJSON event
+// stream for one experiment byte-for-byte: the wire format downstream
+// consumers parse, so any accidental change to the envelope (field names,
+// ordering, schema version) or to the row payloads shows up as a golden
+// diff. A sequential single-experiment run keeps the whole stream —
+// progress included — deterministic.
+func TestGoldenStreamEncoding(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a session")
+	}
+	sess, err := qoe.NewSession(
+		qoe.WithScenarios("table1"),
+		qoe.WithSeed(goldenSeed),
+		qoe.WithScale(qoe.ScaleQuick),
+		qoe.WithParallelism(1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sess.Run(context.Background(), qoe.StreamSink(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "table1.stream.jsonl", buf.Bytes())
 }
 
 func checkGolden(t *testing.T, name string, got []byte) {

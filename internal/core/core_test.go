@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/httpsim"
 	"repro/internal/simnet"
@@ -93,9 +96,60 @@ func TestTestbedTypicalDeterministic(t *testing.T) {
 
 func TestPrewarmFillsCache(t *testing.T) {
 	tb := NewTestbed(Scale{Sites: QuickScale().Sites[:2], Reps: 1}, 5)
-	tb.Prewarm([]simnet.NetworkConfig{simnet.DSL}, []string{"TCP", "QUIC"})
+	if err := tb.Prewarm(context.Background(), []simnet.NetworkConfig{simnet.DSL}, []string{"TCP", "QUIC"}); err != nil {
+		t.Fatal(err)
+	}
 	if len(tb.cache) != 4 {
 		t.Fatalf("cache entries = %d, want 4", len(tb.cache))
+	}
+}
+
+// TestPrewarmCanceled: cancelling mid-prewarm must return ctx.Err() promptly
+// and leave the cache consistent and reusable — a later Prewarm with a live
+// context completes the plan, and nothing is recorded twice.
+func TestPrewarmCanceled(t *testing.T) {
+	// Full corpus so the plan (144 jobs) comfortably exceeds the worker pool:
+	// cancellation must land while jobs are still queued.
+	tb := NewTestbed(Scale{Sites: StandardScale().Sites, Reps: 1}, 5)
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	realRecord := tb.record
+	tb.record = func(site *webpage.Site, net simnet.NetworkConfig, proto httpsim.Protocol, n int, baseSeed int64) []video.Recording {
+		if calls.Add(1) == 1 {
+			cancel() // cancel as soon as the first recording starts
+		}
+		return realRecord(site, net, proto, n, baseSeed)
+	}
+
+	nets := []simnet.NetworkConfig{simnet.DSL, simnet.LTE}
+	prots := []string{"TCP", "QUIC"}
+	plan := int64(len(tb.Scale.Sites) * len(nets) * len(prots))
+
+	done := make(chan error, 1)
+	go func() { done <- tb.Prewarm(ctx, nets, prots) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Prewarm returned %v, want context.Canceled", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("cancelled Prewarm did not return promptly")
+	}
+	recordedEarly := calls.Load()
+	if recordedEarly >= plan {
+		t.Fatalf("cancellation recorded all %d conditions — nothing was skipped", plan)
+	}
+
+	// The testbed stays reusable: a fresh prewarm finishes the plan and every
+	// condition is still recorded exactly once overall.
+	if err := tb.Prewarm(context.Background(), nets, prots); err != nil {
+		t.Fatal(err)
+	}
+	if got := calls.Load(); got != plan {
+		t.Fatalf("recordings after resume = %d, want %d (each condition exactly once)", got, plan)
+	}
+	if got := tb.Stats().Records; got != uint64(plan) {
+		t.Fatalf("stats.Records = %d, want %d", got, plan)
 	}
 }
 

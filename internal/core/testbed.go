@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -126,9 +127,22 @@ func (tb *Testbed) Typical(site *webpage.Site, net simnet.NetworkConfig, protoco
 	return rec, nil
 }
 
+// DefaultParallelism is the single definition of the "zero means all cores"
+// worker default: testbed prewarm, the batch runner, and the population
+// engine all resolve an unset worker count through it, and pkg/qoe's
+// WithParallelism option documents it as the session default.
+func DefaultParallelism() int { return runtime.GOMAXPROCS(0) }
+
 // Prewarm records every (site × network × protocol) condition in parallel,
-// bounded by GOMAXPROCS workers. Experiments that follow hit only the cache.
-func (tb *Testbed) Prewarm(networks []simnet.NetworkConfig, protocols []string) {
+// bounded by DefaultParallelism workers. Experiments that follow hit only
+// the cache.
+//
+// Cancelling ctx stops the prewarm between conditions and returns ctx.Err():
+// recordings already in flight run to completion (a recording is pure CPU
+// and keeps the cache consistent), so a cancelled testbed remains fully
+// reusable — a later Prewarm or Recordings call picks up where this one
+// stopped.
+func (tb *Testbed) Prewarm(ctx context.Context, networks []simnet.NetworkConfig, protocols []string) error {
 	type job struct {
 		site *webpage.Site
 		net  simnet.NetworkConfig
@@ -142,7 +156,7 @@ func (tb *Testbed) Prewarm(networks []simnet.NetworkConfig, protocols []string) 
 			}
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := DefaultParallelism()
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
@@ -156,15 +170,24 @@ func (tb *Testbed) Prewarm(networks []simnet.NetworkConfig, protocols []string) 
 		go func() {
 			defer wg.Done()
 			for j := range ch {
+				if ctx.Err() != nil {
+					continue // drain without recording
+				}
 				tb.Recordings(j.site, j.net, j.prot)
 			}
 		}()
 	}
+feed:
 	for _, j := range jobs {
-		ch <- j
+		select {
+		case ch <- j:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(ch)
 	wg.Wait()
+	return ctx.Err()
 }
 
 // DeriveSeed mixes a name into a master seed: FNV-1a over the name XOR the

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -177,7 +178,7 @@ type ablationExp struct {
 
 func (a ablationExp) Name() string                                   { return a.name }
 func (a ablationExp) Conditions() ([]simnet.NetworkConfig, []string) { return nil, nil }
-func (a ablationExp) Run(tb *core.Testbed, opts Options) (Result, error) {
+func (a ablationExp) Run(_ context.Context, tb *core.Testbed, opts Options) (Result, error) {
 	return AblationResult{Title: a.title, Rows: a.run(opts)}, nil
 }
 

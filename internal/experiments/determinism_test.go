@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -140,7 +141,7 @@ func TestRegisteredExperimentsDeterministic(t *testing.T) {
 		tb := core.NewTestbed(opts.Scale, opts.Seed)
 		out := map[string]string{}
 		for _, e := range All() {
-			res, err := e.Run(tb, opts)
+			res, err := e.Run(context.Background(), tb, opts)
 			if err != nil {
 				t.Fatalf("%s: %v", e.Name(), err)
 			}

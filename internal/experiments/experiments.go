@@ -19,6 +19,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -127,7 +128,7 @@ type table1Exp struct{}
 
 func (table1Exp) Name() string                                   { return "table1" }
 func (table1Exp) Conditions() ([]simnet.NetworkConfig, []string) { return nil, nil }
-func (table1Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+func (table1Exp) Run(_ context.Context, tb *core.Testbed, opts Options) (Result, error) {
 	return Table1Result{Rows: core.Table1()}, nil
 }
 
@@ -135,7 +136,7 @@ type table2Exp struct{}
 
 func (table2Exp) Name() string                                   { return "table2" }
 func (table2Exp) Conditions() ([]simnet.NetworkConfig, []string) { return nil, nil }
-func (table2Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+func (table2Exp) Run(_ context.Context, tb *core.Testbed, opts Options) (Result, error) {
 	return Table2Result{Networks: simnet.Networks()}, nil
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -42,7 +43,7 @@ func (fig3Exp) Conditions() ([]simnet.NetworkConfig, []string) {
 	return simnet.Networks(), study.RatingProtocols()
 }
 
-func (fig3Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+func (fig3Exp) Run(_ context.Context, tb *core.Testbed, opts Options) (Result, error) {
 	return fig3Run(tb, opts)
 }
 
@@ -53,7 +54,10 @@ func init() { Register(fig3Exp{}) }
 // instead.
 func Fig3(opts Options) (Fig3Result, error) {
 	tb := core.NewTestbed(opts.Scale, opts.Seed)
-	tb.Prewarm(fig3Exp{}.Conditions())
+	nets, prots := fig3Exp{}.Conditions()
+	if err := tb.Prewarm(context.Background(), nets, prots); err != nil {
+		return Fig3Result{}, err
+	}
 	return fig3Run(tb, opts)
 }
 

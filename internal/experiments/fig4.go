@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -40,7 +41,7 @@ func (fig4Exp) Conditions() ([]simnet.NetworkConfig, []string) {
 	return simnet.Networks(), plist
 }
 
-func (fig4Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+func (fig4Exp) Run(_ context.Context, tb *core.Testbed, opts Options) (Result, error) {
 	return fig4Run(tb, opts)
 }
 
@@ -50,7 +51,10 @@ func init() { Register(fig4Exp{}) }
 // the registered experiment with a shared testbed instead.
 func Fig4(opts Options) (Fig4Result, error) {
 	tb := core.NewTestbed(opts.Scale, opts.Seed)
-	tb.Prewarm(fig4Exp{}.Conditions())
+	nets, prots := fig4Exp{}.Conditions()
+	if err := tb.Prewarm(context.Background(), nets, prots); err != nil {
+		return Fig4Result{}, err
+	}
 	return fig4Run(tb, opts)
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -63,7 +64,7 @@ func (fig5Exp) Conditions() ([]simnet.NetworkConfig, []string) {
 	return simnet.Networks(), study.RatingProtocols()
 }
 
-func (fig5Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+func (fig5Exp) Run(_ context.Context, tb *core.Testbed, opts Options) (Result, error) {
 	return fig5Run(tb, opts)
 }
 
@@ -73,7 +74,10 @@ func init() { Register(fig5Exp{}) }
 // callers use the registered experiment with a shared testbed instead.
 func Fig5(opts Options) (Fig5Result, error) {
 	tb := core.NewTestbed(opts.Scale, opts.Seed)
-	tb.Prewarm(fig5Exp{}.Conditions())
+	nets, prots := fig5Exp{}.Conditions()
+	if err := tb.Prewarm(context.Background(), nets, prots); err != nil {
+		return Fig5Result{}, err
+	}
 	return fig5Run(tb, opts)
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -37,7 +38,7 @@ func (fig6Exp) Conditions() ([]simnet.NetworkConfig, []string) {
 	return simnet.Networks(), study.RatingProtocols()
 }
 
-func (fig6Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+func (fig6Exp) Run(_ context.Context, tb *core.Testbed, opts Options) (Result, error) {
 	return fig6Run(tb, opts)
 }
 
@@ -48,7 +49,10 @@ func init() { Register(fig6Exp{}) }
 // instead.
 func Fig6(opts Options) (Fig6Result, error) {
 	tb := core.NewTestbed(opts.Scale, opts.Seed)
-	tb.Prewarm(fig6Exp{}.Conditions())
+	nets, prots := fig6Exp{}.Conditions()
+	if err := tb.Prewarm(context.Background(), nets, prots); err != nil {
+		return Fig6Result{}, err
+	}
 	return fig6Run(tb, opts)
 }
 

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -69,8 +70,8 @@ func (popABExp) Conditions() ([]simnet.NetworkConfig, []string) {
 	return simnet.ScenarioNetworks(), study.RatingProtocols()
 }
 
-func (popABExp) Run(tb *core.Testbed, opts Options) (Result, error) {
-	return popABRun(tb, opts)
+func (popABExp) Run(ctx context.Context, tb *core.Testbed, opts Options) (Result, error) {
+	return popABRun(ctx, tb, opts)
 }
 
 // popABCells builds the stimulus grid: the four Figure 4 pairings over every
@@ -106,12 +107,12 @@ func popABCells(tb *core.Testbed) ([]population.ABCell, error) {
 	return cells, nil
 }
 
-func popABRun(tb *core.Testbed, opts Options) (PopABResult, error) {
+func popABRun(ctx context.Context, tb *core.Testbed, opts Options) (PopABResult, error) {
 	cells, err := popABCells(tb)
 	if err != nil {
 		return PopABResult{}, err
 	}
-	res, err := population.RunAB(cells, population.Config{
+	res, err := population.RunAB(ctx, cells, population.Config{
 		Group:        study.Microworker,
 		Participants: popParticipants,
 		Seed:         opts.Seed,
@@ -232,8 +233,8 @@ func (popRatingExp) Conditions() ([]simnet.NetworkConfig, []string) {
 	return simnet.ScenarioNetworks(), study.RatingProtocols()
 }
 
-func (popRatingExp) Run(tb *core.Testbed, opts Options) (Result, error) {
-	return popRatingRun(tb, opts)
+func (popRatingExp) Run(ctx context.Context, tb *core.Testbed, opts Options) (Result, error) {
+	return popRatingRun(ctx, tb, opts)
 }
 
 // popRatingCells builds the rating grid: every environment framing crossed
@@ -262,12 +263,12 @@ func popRatingCells(tb *core.Testbed) ([]population.RatingCell, error) {
 	return cells, nil
 }
 
-func popRatingRun(tb *core.Testbed, opts Options) (PopRatingResult, error) {
+func popRatingRun(ctx context.Context, tb *core.Testbed, opts Options) (PopRatingResult, error) {
 	cells, err := popRatingCells(tb)
 	if err != nil {
 		return PopRatingResult{}, err
 	}
-	res, err := population.RunRating(cells, population.Config{
+	res, err := population.RunRating(ctx, cells, population.Config{
 		Group:        study.Microworker,
 		Participants: popParticipants,
 		Seed:         opts.Seed,
@@ -384,15 +385,15 @@ func (popSweepExp) Name() string { return "pop-sweep" }
 // (like the ablations), so it declares no shared recordings.
 func (popSweepExp) Conditions() ([]simnet.NetworkConfig, []string) { return nil, nil }
 
-func (popSweepExp) Run(tb *core.Testbed, opts Options) (Result, error) {
-	return popSweepRun(tb, opts)
+func (popSweepExp) Run(ctx context.Context, tb *core.Testbed, opts Options) (Result, error) {
+	return popSweepRun(ctx, tb, opts)
 }
 
 // popSweepFactors spans 16x around the LTE operating point: from a quarter
 // of its speed to four times.
 var popSweepFactors = []float64{0.25, 0.5, 1, 2, 4}
 
-func popSweepRun(tb *core.Testbed, opts Options) (PopSweepResult, error) {
+func popSweepRun(ctx context.Context, tb *core.Testbed, opts Options) (PopSweepResult, error) {
 	const protoA, protoB = "QUIC", "TCP"
 	base := simnet.LTE
 	reps := tb.Scale.Reps
@@ -401,6 +402,9 @@ func popSweepRun(tb *core.Testbed, opts Options) (PopSweepResult, error) {
 	}
 	out := PopSweepResult{Base: base.Name, A: protoA, B: protoB}
 	for _, v := range popSweepFactors {
+		if err := ctx.Err(); err != nil {
+			return PopSweepResult{}, err
+		}
 		net := sweep.Apply(base, sweep.Speed, v)
 		siA, repA := sweep.MeanReport(tb.Scale.Sites, net, protoA, reps, opts.Seed)
 		siB, repB := sweep.MeanReport(tb.Scale.Sites, net, protoB, reps, opts.Seed)
@@ -408,7 +412,7 @@ func popSweepRun(tb *core.Testbed, opts Options) (PopSweepResult, error) {
 			return PopSweepResult{}, fmt.Errorf("pop-sweep: no complete loads at x%g", v)
 		}
 		cell := population.ABCell{Label: net.Name, Left: repA, Right: repB, AOnLeft: true}
-		res, err := population.RunAB([]population.ABCell{cell}, population.Config{
+		res, err := population.RunAB(ctx, []population.ABCell{cell}, population.Config{
 			Group:               study.Microworker,
 			Participants:        popSweepPanel,
 			VotesPerParticipant: 1,

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -15,7 +16,10 @@ import (
 func popTestbed(t *testing.T) *core.Testbed {
 	t.Helper()
 	tb := core.NewTestbed(core.QuickScale(), 1)
-	tb.Prewarm(popABExp{}.Conditions())
+	nets, prots := popABExp{}.Conditions()
+	if err := tb.Prewarm(context.Background(), nets, prots); err != nil {
+		t.Fatal(err)
+	}
 	return tb
 }
 
@@ -27,7 +31,7 @@ func TestPopRatingMillionVotes(t *testing.T) {
 		t.Skip("population-scale run")
 	}
 	tb := popTestbed(t)
-	res, err := popRatingRun(tb, Options{Scale: tb.Scale, Seed: core.DeriveSeed(1, "pop-rating")})
+	res, err := popRatingRun(context.Background(), tb, Options{Scale: tb.Scale, Seed: core.DeriveSeed(1, "pop-rating")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -70,7 +74,7 @@ func TestPopABShapes(t *testing.T) {
 		t.Skip("population-scale run")
 	}
 	tb := popTestbed(t)
-	res, err := popABRun(tb, Options{Scale: tb.Scale, Seed: core.DeriveSeed(1, "pop-ab")})
+	res, err := popABRun(context.Background(), tb, Options{Scale: tb.Scale, Seed: core.DeriveSeed(1, "pop-ab")})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -104,7 +108,7 @@ func TestPopSweepCrossover(t *testing.T) {
 		t.Skip("population-scale run")
 	}
 	tb := core.NewTestbed(core.QuickScale(), 1)
-	res, err := popSweepRun(tb, Options{Scale: tb.Scale, Seed: core.DeriveSeed(1, "pop-sweep")})
+	res, err := popSweepRun(context.Background(), tb, Options{Scale: tb.Scale, Seed: core.DeriveSeed(1, "pop-sweep")})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -31,11 +33,13 @@ type Result interface {
 //
 // Run executes against a caller-supplied shared testbed: experiments must
 // not build testbeds of their own, so that one recording per condition
-// serves every experiment in a batch.
+// serves every experiment in a batch. Run honors ctx cancellation at its
+// natural checkpoints (most relevantly the population shard loops of the
+// pop-* family) and returns ctx.Err() when interrupted.
 type Experiment interface {
 	Name() string
 	Conditions() (networks []simnet.NetworkConfig, protocols []string)
-	Run(tb *core.Testbed, opts Options) (Result, error)
+	Run(ctx context.Context, tb *core.Testbed, opts Options) (Result, error)
 }
 
 var (
@@ -134,11 +138,59 @@ func Select(names ...string) ([]Experiment, error) {
 		}
 		e, ok := Lookup(n)
 		if !ok {
+			if near := nearestNames(n, Names()); len(near) > 0 {
+				return nil, fmt.Errorf("unknown experiment %q (did you mean %s?) (have: %v)",
+					n, strings.Join(near, ", "), Names())
+			}
 			return nil, fmt.Errorf("unknown experiment %q (have: %v)", n, Names())
 		}
 		add(e)
 	}
 	return out, nil
+}
+
+// nearestNames returns the closest registered names to a mistyped one (up to
+// three, in registry order): names within a small edit distance, or sharing a
+// prefix of at least three characters — enough to catch "fig7", "pop_ab",
+// or "tabel1"-style typos without suggesting unrelated experiments.
+func nearestNames(name string, candidates []string) []string {
+	maxDist := 2
+	if len(name) > 8 {
+		maxDist = 3
+	}
+	var out []string
+	for _, c := range candidates {
+		d := editDistance(name, c)
+		prefix := len(name) >= 3 && len(c) >= 3 && strings.HasPrefix(c, name[:3])
+		if d <= maxDist || (prefix && d <= maxDist+2) {
+			out = append(out, fmt.Sprintf("%q", c))
+			if len(out) == 3 {
+				break
+			}
+		}
+	}
+	return out
+}
+
+// editDistance is the Levenshtein distance between two short names.
+func editDistance(a, b string) int {
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min(prev[j]+1, min(cur[j-1]+1, prev[j-1]+cost))
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
 }
 
 // fmtFloat is the shared 4-decimal float encoding of every Result.CSV.

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSelectDidYouMean: a mistyped experiment name suggests the nearest
+// registered names so users don't have to eyeball the full registry listing.
+func TestSelectDidYouMean(t *testing.T) {
+	for _, tc := range []struct {
+		input   string
+		suggest string
+	}{
+		{"fig7", `"fig3"`},     // off-by-one digit
+		{"tabel1", `"table1"`}, // transposition
+		{"pop_ab", `"pop-ab"`}, // wrong separator
+		{"ablate-io", `"ablate-iw"`},
+	} {
+		_, err := Select(tc.input)
+		if err == nil {
+			t.Fatalf("Select(%q) should fail", tc.input)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "did you mean") || !strings.Contains(msg, tc.suggest) {
+			t.Errorf("Select(%q) error %q should suggest %s", tc.input, msg, tc.suggest)
+		}
+		if !strings.Contains(msg, "have:") {
+			t.Errorf("Select(%q) error %q should still list valid names", tc.input, msg)
+		}
+	}
+	// A name nothing resembles gets the plain listing, no absurd suggestion.
+	_, err := Select("zzzzzzzz")
+	if err == nil || strings.Contains(err.Error(), "did you mean") {
+		t.Errorf("Select(zzzzzzzz) = %v, want plain unknown-experiment error", err)
+	}
+}
+
+// TestEditDistance pins the metric the suggestions rank by.
+func TestEditDistance(t *testing.T) {
+	for _, tc := range []struct {
+		a, b string
+		want int
+	}{
+		{"", "", 0}, {"a", "", 1}, {"", "abc", 3},
+		{"fig7", "fig3", 1}, {"tabel1", "table1", 2}, {"pop_ab", "pop-ab", 1},
+		{"kitten", "sitting", 3},
+	} {
+		if got := editDistance(tc.a, tc.b); got != tc.want {
+			t.Errorf("editDistance(%q, %q) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -24,7 +25,7 @@ type table3Exp struct{}
 
 func (table3Exp) Name() string                                   { return "table3" }
 func (table3Exp) Conditions() ([]simnet.NetworkConfig, []string) { return nil, nil }
-func (table3Exp) Run(tb *core.Testbed, opts Options) (Result, error) {
+func (table3Exp) Run(_ context.Context, tb *core.Testbed, opts Options) (Result, error) {
 	return Table3(opts.Seed), nil
 }
 

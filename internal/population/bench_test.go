@@ -1,6 +1,7 @@
 package population
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -35,7 +36,7 @@ func benchRunAB(b *testing.B, workers int) {
 	}
 	var votes int64
 	for i := 0; i < b.N; i++ {
-		res, err := RunAB(cells, cfg)
+		res, err := RunAB(context.Background(), cells, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -56,7 +57,7 @@ func BenchmarkRunRatingParallel(b *testing.B) {
 	}
 	var votes int64
 	for i := 0; i < b.N; i++ {
-		res, err := RunRating(cells, cfg)
+		res, err := RunRating(context.Background(), cells, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -17,9 +17,9 @@
 package population
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
-	"runtime"
 	"sync"
 
 	"repro/internal/conformance"
@@ -66,7 +66,9 @@ type Config struct {
 	// per-shard aggregate memory trivial while leaving a worker pool
 	// enough parallelism.
 	Shards int
-	// Workers bounds concurrent shards: 0 = GOMAXPROCS, 1 = sequential.
+	// Workers bounds concurrent shards: 0 resolves through
+	// core.DefaultParallelism (the one shared worker default), 1 runs
+	// sequentially.
 	Workers int
 	// Seed is the master seed; per-shard seeds derive from it.
 	Seed int64
@@ -87,7 +89,7 @@ func (c Config) withDefaults() Config {
 		c.Shards = c.Participants
 	}
 	if c.Workers <= 0 {
-		c.Workers = runtime.GOMAXPROCS(0)
+		c.Workers = core.DefaultParallelism()
 	}
 	if c.Workers > c.Shards {
 		c.Workers = c.Shards
@@ -240,29 +242,64 @@ func drawDistinct(rng *rand.Rand, dst []int, n, k int) []int {
 
 // runShards executes fn for every shard index on a bounded worker pool.
 // fn must be pure per shard; results are consumed afterwards in shard order.
-func runShards(shards, workers int, fn func(shard int)) {
+// Cancelling ctx stops dispatching new shards and fn is expected to return
+// ctx.Err() from inside its participant loop, so a cancelled million-vote
+// run winds down within one participant's worth of work per worker. The
+// first non-nil fn error (in completion order) is returned; on cancellation
+// every in-flight fn observes the same ctx, so that error is ctx.Err().
+func runShards(ctx context.Context, shards, workers int, fn func(shard int) error) error {
 	if workers <= 1 {
 		for i := 0; i < shards; i++ {
-			fn(i)
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
 		}
-		return
+		return nil
 	}
 	jobs := make(chan int)
-	var wg sync.WaitGroup
+	var (
+		wg     sync.WaitGroup
+		errMu  sync.Mutex
+		runErr error
+	)
+	setErr := func(err error) {
+		errMu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		errMu.Unlock()
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				fn(i)
+				if ctx.Err() != nil {
+					continue // drain without running
+				}
+				if err := fn(i); err != nil {
+					setErr(err)
+				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < shards; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return runErr
 }
 
 // abShard holds one shard's private aggregates.
@@ -273,8 +310,10 @@ type abShard struct {
 	votes  int64
 }
 
-// RunAB simulates the A/B study over the cells.
-func RunAB(cells []ABCell, cfg Config) (ABResult, error) {
+// RunAB simulates the A/B study over the cells. Cancelling ctx aborts the
+// run and returns ctx.Err(); shard aggregates are private until the final
+// merge, so an aborted run leaves no partial state behind.
+func RunAB(ctx context.Context, cells []ABCell, cfg Config) (ABResult, error) {
 	if len(cells) == 0 {
 		return ABResult{}, fmt.Errorf("population: no A/B cells")
 	}
@@ -285,7 +324,7 @@ func RunAB(cells []ABCell, cfg Config) (ABResult, error) {
 	}
 
 	shards := make([]abShard, cfg.Shards)
-	runShards(cfg.Shards, cfg.Workers, func(si int) {
+	err := runShards(ctx, cfg.Shards, cfg.Workers, func(si int) error {
 		sh := &shards[si]
 		sh.cells = make([]ABCellStats, len(cells))
 		rng := rand.New(rand.NewSource(shardSeed(cfg.Seed, si)))
@@ -293,6 +332,9 @@ func RunAB(cells []ABCell, cfg Config) (ABResult, error) {
 		var m participant.Model // reused across the shard's participants
 		lo, hi := shardRange(cfg.Participants, cfg.Shards, si)
 		for p := lo; p < hi; p++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if cfg.Conformance {
 				s := participant.Behaviour(cfg.Group, conformance.AB, rng)
 				if !sh.funnel.Observe(s) {
@@ -326,7 +368,11 @@ func RunAB(cells []ABCell, cfg Config) (ABResult, error) {
 				}
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		return ABResult{}, err
+	}
 
 	res := ABResult{
 		Cells:        make([]ABCellStats, len(cells)),
@@ -363,8 +409,9 @@ type ratingShard struct {
 // RunRating simulates the rating study over the cells. Participants rate
 // their session plan's number of videos per environment (or
 // VotesPerParticipant spread over the environments that have cells), drawn
-// from that environment's cells.
-func RunRating(cells []RatingCell, cfg Config) (RatingResult, error) {
+// from that environment's cells. Cancelling ctx aborts the run and returns
+// ctx.Err(), leaving no partial state behind.
+func RunRating(ctx context.Context, cells []RatingCell, cfg Config) (RatingResult, error) {
 	if len(cells) == 0 {
 		return RatingResult{}, fmt.Errorf("population: no rating cells")
 	}
@@ -412,7 +459,7 @@ func RunRating(cells []RatingCell, cfg Config) (RatingResult, error) {
 	}
 
 	shards := make([]ratingShard, cfg.Shards)
-	runShards(cfg.Shards, cfg.Workers, func(si int) {
+	err := runShards(ctx, cfg.Shards, cfg.Workers, func(si int) error {
 		sh := &shards[si]
 		sh.cells = make([]RatingCellStats, len(cells))
 		for i, c := range cells {
@@ -423,6 +470,9 @@ func RunRating(cells []RatingCell, cfg Config) (RatingResult, error) {
 		var m participant.Model // reused across the shard's participants
 		lo, hi := shardRange(cfg.Participants, cfg.Shards, si)
 		for p := lo; p < hi; p++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if cfg.Conformance {
 				s := participant.Behaviour(cfg.Group, conformance.Rating, rng)
 				if !sh.funnel.Observe(s) {
@@ -447,7 +497,11 @@ func RunRating(cells []RatingCell, cfg Config) (RatingResult, error) {
 				}
 			}
 		}
+		return nil
 	})
+	if err != nil {
+		return RatingResult{}, err
+	}
 
 	res := RatingResult{
 		Cells:        make([]RatingCellStats, len(cells)),

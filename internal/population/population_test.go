@@ -1,6 +1,8 @@
 package population
 
 import (
+	"context"
+	"errors"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -60,11 +62,11 @@ func TestABDeterministicAcrossWorkers(t *testing.T) {
 	seq.Workers = 1
 	par := base
 	par.Workers = 8
-	a, err := RunAB(cells, seq)
+	a, err := RunAB(context.Background(), cells, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunAB(cells, par)
+	b, err := RunAB(context.Background(), cells, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,11 +83,11 @@ func TestRatingDeterministicAcrossWorkers(t *testing.T) {
 	seq.Workers = 1
 	par := base
 	par.Workers = 8
-	a, err := RunRating(cells, seq)
+	a, err := RunRating(context.Background(), cells, seq)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := RunRating(cells, par)
+	b, err := RunRating(context.Background(), cells, par)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,7 +101,7 @@ func TestRatingDeterministicAcrossWorkers(t *testing.T) {
 // subtle one with the faster variant winning.
 func TestABVoteAccounting(t *testing.T) {
 	cells := testABCells()
-	res, err := RunAB(cells, Config{Group: study.Microworker, Participants: 2_000, Seed: 1})
+	res, err := RunAB(context.Background(), cells, Config{Group: study.Microworker, Participants: 2_000, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,7 +145,7 @@ func TestABVoteAccounting(t *testing.T) {
 func TestRatingAggregates(t *testing.T) {
 	fast := RatingCell{Label: "fast", Rep: metrics.Report{SI: 400 * time.Millisecond, Complete: true}, Env: study.AtWork}
 	slow := RatingCell{Label: "slow", Rep: metrics.Report{SI: 8 * time.Second, Complete: true}, Env: study.AtWork}
-	res, err := RunRating([]RatingCell{fast, slow}, Config{Group: study.Lab, Participants: 2_000, Seed: 2})
+	res, err := RunRating(context.Background(), []RatingCell{fast, slow}, Config{Group: study.Lab, Participants: 2_000, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +166,7 @@ func TestRatingAggregates(t *testing.T) {
 // calibrated ballpark (Table 3 keeps roughly 40% of rating µWorkers).
 func TestConformanceFunnelStreams(t *testing.T) {
 	cells := testRatingCells()
-	res, err := RunRating(cells, Config{
+	res, err := RunRating(context.Background(), cells, Config{
 		Group: study.Microworker, Participants: 10_000, Seed: 4, Conformance: true,
 	})
 	if err != nil {
@@ -188,11 +190,11 @@ func TestConformanceFunnelStreams(t *testing.T) {
 // result size equals cells regardless of participants.
 func TestMemoryIndependentOfPopulation(t *testing.T) {
 	cells := testABCells()
-	small, err := RunAB(cells, Config{Participants: 500, Seed: 9})
+	small, err := RunAB(context.Background(), cells, Config{Participants: 500, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
-	big, err := RunAB(cells, Config{Participants: 5_000, Seed: 9})
+	big, err := RunAB(context.Background(), cells, Config{Participants: 5_000, Seed: 9})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,6 +222,58 @@ func TestShardRangeCoversPopulation(t *testing.T) {
 		if covered != tc.total {
 			t.Fatalf("total=%d shards=%d: covered %d", tc.total, tc.shards, covered)
 		}
+	}
+}
+
+// TestRunABCanceled: a context cancelled mid-run must abort a large A/B
+// population study promptly with ctx.Err(), well before the population could
+// have been processed, and a follow-up run with the same inputs still
+// produces the full, correct result (no shared state is corrupted).
+func TestRunABCanceled(t *testing.T) {
+	cells := testABCells()
+	// A population this size takes many seconds sequentially; the deadline
+	// fires after a handful of shards at most.
+	cfg := Config{Group: study.Microworker, Participants: 2_000_000, Shards: 256, Seed: 11, Conformance: true}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+
+	start := time.Now()
+	_, err := RunAB(ctx, cells, cfg)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("RunAB returned %v, want context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancelled RunAB took %v, want prompt return", elapsed)
+	}
+
+	// The engine is stateless across runs: the same config at a sane size
+	// still completes and stays deterministic after the aborted run.
+	small := Config{Group: study.Microworker, Participants: 1_000, Seed: 11, Conformance: true}
+	a, err := RunAB(context.Background(), cells, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunAB(context.Background(), cells, small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("post-cancellation runs lost determinism")
+	}
+}
+
+// TestRunRatingCanceled: same prompt-abort contract for the rating design,
+// via an already-cancelled context (the cheapest possible cancellation).
+func TestRunRatingCanceled(t *testing.T) {
+	cells := testRatingCells()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunRating(ctx, cells, Config{Group: study.Microworker, Participants: 100_000, Seed: 6}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunRating returned %v, want context.Canceled", err)
+	}
+	// Sequential path too (workers == 1 takes the inline branch).
+	if _, err := RunRating(ctx, cells, Config{Group: study.Microworker, Participants: 100_000, Workers: 1, Seed: 6}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("sequential RunRating returned %v, want context.Canceled", err)
 	}
 }
 

@@ -9,13 +9,19 @@
 // idiom the testbed uses for per-condition recording seeds), and renders
 // into its own buffer, so the batch output is byte-identical whether the
 // experiments run sequentially or in parallel.
+//
+// RunContext is the primary entry point: it honors context cancellation
+// through the prewarm, the worker pool, and (via the Experiment interface)
+// each experiment's own execution, and it streams completed results to
+// caller hooks in input order — the engine beneath pkg/qoe's streaming
+// Session API. Run remains as a deprecated batch-only shim.
 package runner
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
-	"runtime"
 	"sync"
 	"time"
 
@@ -27,11 +33,13 @@ import (
 // Format selects the encoding of every experiment's output.
 type Format string
 
-// The three encodings every experiments.Result supports.
+// The three encodings every experiments.Result supports, plus None for
+// callers that consume results through Hooks and need no pre-rendered bytes.
 const (
 	Text Format = "text"
 	CSV  Format = "csv"
 	JSON Format = "json"
+	None Format = "none"
 )
 
 // Options configures a batch run.
@@ -39,17 +47,27 @@ type Options struct {
 	Scale core.Scale
 	Seed  int64 // master seed; per-experiment seeds are derived from it
 	// Parallel bounds the number of experiments running concurrently.
-	// 0 means GOMAXPROCS; 1 runs sequentially.
+	// Zero resolves through core.DefaultParallelism (the single shared
+	// worker default); 1 runs sequentially.
 	Parallel int
-	// Format selects text (default), csv, or json output.
+	// Format selects text (default), csv, or json output, or none to skip
+	// encoding entirely.
 	Format Format
 }
 
 // ExperimentReport is the outcome of one experiment in a batch.
 type ExperimentReport struct {
-	Name     string
-	Seed     int64 // the derived per-experiment seed
-	Output   []byte
+	Name   string
+	Seed   int64 // the derived per-experiment seed
+	Output []byte
+	// Duration is the value the text framing line renders. It is pinned to
+	// zero: the original runner's deferred stopwatch never reached the
+	// returned copy, so the framing has always printed "0s" — and that
+	// accident is what makes qoebench's stdout byte-identical across runs
+	// and parallelism settings, a contract goldens and the streaming
+	// adapters now rely on. Wall-clock accounting lives in Report.Prewarm /
+	// Report.Total (and the stderr summary), where nondeterminism is
+	// expected.
 	Duration time.Duration
 	Err      error
 }
@@ -140,25 +158,94 @@ func MergePlan(exps []experiments.Experiment) ([]simnet.NetworkConfig, []string)
 	return nets, prots
 }
 
+// Progress is one coarse-grained progress notification of a batch run.
+type Progress struct {
+	// Stage is "prewarm" while the merged condition plan is being recorded
+	// and "experiment" once experiments execute.
+	Stage string
+	// Experiment names the experiment that just completed (empty for the
+	// leading zero-progress notification of a stage).
+	Experiment string
+	// Completed counts finished units of the stage's Total: conditions for
+	// the prewarm stage, experiments for the experiment stage. Prewarm
+	// progress is endpoint-granular — one notification at 0 and one at
+	// Total — because per-condition reporting would serialize the testbed's
+	// recording workers through a callback.
+	Completed, Total int
+}
+
+// Hooks lets a caller observe a batch run while it executes. Both hooks are
+// optional and are invoked from the coordinating goroutine only, so
+// implementations need no locking.
+type Hooks struct {
+	// Progress is called as stages advance. Experiment-stage notifications
+	// fire in completion order, which under parallelism is not input order.
+	Progress func(Progress)
+	// Result is called once per experiment, strictly in input order, as soon
+	// as the experiment and all of its predecessors have finished — so a
+	// streaming consumer sees results incrementally without losing the
+	// deterministic presentation order. res is nil when rep.Err is non-nil.
+	Result func(i int, rep ExperimentReport, res experiments.Result)
+}
+
 // Run prewarms one shared testbed with the merged plan of all experiments,
-// then executes them on a worker pool. The returned report lists results in
-// input order regardless of completion order; a per-experiment failure is
-// recorded in its slot rather than aborting the batch.
+// then executes them on a worker pool.
+//
+// Deprecated: Run cannot be cancelled and observes nothing mid-batch; new
+// callers use RunContext (or pkg/qoe's Session, which wraps it). Kept as a
+// one-release shim for existing batch callers.
 func Run(exps []experiments.Experiment, opts Options) Report {
+	return RunContext(context.Background(), exps, opts, Hooks{})
+}
+
+// RunContext prewarms one shared testbed with the merged plan of all
+// experiments, then executes them on a worker pool. The returned report
+// lists results in input order regardless of completion order; a
+// per-experiment failure is recorded in its slot rather than aborting the
+// batch.
+//
+// Cancelling ctx stops the run promptly: the prewarm stops between
+// conditions, experiments not yet started are marked with ctx.Err() instead
+// of running, and in-flight experiments observe the same ctx through their
+// Run methods. The shared testbed is discarded with the run, so a cancelled
+// batch leaves no corrupted state behind.
+func RunContext(ctx context.Context, exps []experiments.Experiment, opts Options, hooks Hooks) Report {
 	start := time.Now()
 	tb := core.NewTestbed(opts.Scale, opts.Seed)
 
 	rep := Report{Format: opts.Format}
+	rep.Results = make([]ExperimentReport, len(exps))
 	nets, prots := MergePlan(exps)
 	rep.Conditions = len(tb.Scale.Sites) * len(nets) * len(prots)
+	progress := func(p Progress) {
+		if hooks.Progress != nil {
+			hooks.Progress(p)
+		}
+	}
 	if rep.Conditions > 0 {
-		tb.Prewarm(nets, prots)
+		progress(Progress{Stage: "prewarm", Total: rep.Conditions})
+		if err := tb.Prewarm(ctx, nets, prots); err != nil {
+			// Mark every experiment cancelled and still honor the Hooks.Result
+			// once-per-experiment contract, so sinks observe the outcome of a
+			// batch that died in the prewarm.
+			for i, e := range exps {
+				rep.Results[i] = ExperimentReport{Name: e.Name(), Seed: core.DeriveSeed(opts.Seed, e.Name()), Err: err}
+				if hooks.Result != nil {
+					hooks.Result(i, rep.Results[i], nil)
+				}
+			}
+			rep.Cache = tb.Stats()
+			rep.Prewarm = time.Since(start)
+			rep.Total = rep.Prewarm
+			return rep
+		}
+		progress(Progress{Stage: "prewarm", Completed: rep.Conditions, Total: rep.Conditions})
 	}
 	rep.Prewarm = time.Since(start)
 
 	workers := opts.Parallel
 	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+		workers = core.DefaultParallelism()
 	}
 	if workers > len(exps) {
 		workers = len(exps)
@@ -167,22 +254,58 @@ func Run(exps []experiments.Experiment, opts Options) Report {
 		workers = 1
 	}
 
-	rep.Results = make([]ExperimentReport, len(exps))
+	type done struct {
+		i   int
+		rep ExperimentReport
+		res experiments.Result
+	}
 	jobs := make(chan int)
+	results := make(chan done)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				rep.Results[i] = runOne(tb, exps[i], opts)
+				e := exps[i]
+				if err := ctx.Err(); err != nil {
+					results <- done{i, ExperimentReport{Name: e.Name(), Seed: core.DeriveSeed(opts.Seed, e.Name()), Err: err}, nil}
+					continue
+				}
+				r, res := runOne(ctx, tb, e, opts)
+				results <- done{i, r, res}
 			}
 		}()
 	}
-	for i := range exps {
-		jobs <- i
+	go func() {
+		for i := range exps {
+			jobs <- i
+		}
+		close(jobs)
+	}()
+
+	// Coordinate from this goroutine: record completions as they arrive,
+	// surface progress immediately, and flush Result hooks in input order.
+	pending := make(map[int]done)
+	next, completed := 0, 0
+	for completed < len(exps) {
+		d := <-results
+		rep.Results[d.i] = d.rep
+		completed++
+		progress(Progress{Stage: "experiment", Experiment: d.rep.Name, Completed: completed, Total: len(exps)})
+		pending[d.i] = d
+		for {
+			f, ok := pending[next]
+			if !ok {
+				break
+			}
+			delete(pending, next)
+			if hooks.Result != nil {
+				hooks.Result(next, f.rep, f.res)
+			}
+			next++
+		}
 	}
-	close(jobs)
 	wg.Wait()
 
 	rep.Cache = tb.Stats()
@@ -191,16 +314,15 @@ func Run(exps []experiments.Experiment, opts Options) Report {
 }
 
 // runOne executes a single experiment with its derived seed and encodes the
-// result in the requested format.
-func runOne(tb *core.Testbed, e experiments.Experiment, opts Options) ExperimentReport {
+// result in the requested format (skipped for None). It leaves
+// out.Duration at zero — see the field comment.
+func runOne(ctx context.Context, tb *core.Testbed, e experiments.Experiment, opts Options) (ExperimentReport, experiments.Result) {
 	out := ExperimentReport{Name: e.Name(), Seed: core.DeriveSeed(opts.Seed, e.Name())}
-	start := time.Now()
-	defer func() { out.Duration = time.Since(start) }()
 
-	res, err := e.Run(tb, experiments.Options{Scale: opts.Scale, Seed: out.Seed})
+	res, err := e.Run(ctx, tb, experiments.Options{Scale: opts.Scale, Seed: out.Seed})
 	if err != nil {
 		out.Err = err
-		return out
+		return out, nil
 	}
 	var buf bytes.Buffer
 	switch opts.Format {
@@ -210,9 +332,10 @@ func runOne(tb *core.Testbed, e experiments.Experiment, opts Options) Experiment
 		out.Err = res.JSON(&buf)
 	case Text, "":
 		res.Render(&buf)
+	case None:
 	default:
 		out.Err = fmt.Errorf("unknown format %q", opts.Format)
 	}
 	out.Output = buf.Bytes()
-	return out
+	return out, res
 }

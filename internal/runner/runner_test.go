@@ -2,6 +2,8 @@ package runner
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"testing"
 
 	"repro/internal/core"
@@ -160,6 +162,98 @@ func TestDerivedSeedsDiffer(t *testing.T) {
 	}
 	if !bytes.Equal(solo.Results[0].Output, inBatch) {
 		t.Fatal("fig5 output depends on the batch composition")
+	}
+}
+
+// TestRunContextHooksOrdered: Result hooks must arrive strictly in input
+// order with the experiment's Result attached, even under parallelism, and
+// progress notifications must count every experiment exactly once.
+func TestRunContextHooksOrdered(t *testing.T) {
+	exps := experiments.All()
+	var order []string
+	var progressed int
+	rep := RunContext(context.Background(), exps, Options{Scale: tinyScale(), Seed: 2, Parallel: 8, Format: None},
+		Hooks{
+			Progress: func(p Progress) {
+				if p.Stage == "experiment" && p.Experiment != "" {
+					progressed++
+				}
+			},
+			Result: func(i int, r ExperimentReport, res experiments.Result) {
+				if len(order) != i {
+					t.Fatalf("result hook for %s arrived at position %d, want %d", r.Name, len(order), i)
+				}
+				if r.Err == nil && res == nil {
+					t.Fatalf("%s: successful result without a Result value", r.Name)
+				}
+				order = append(order, r.Name)
+			},
+		})
+	if err := rep.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != len(exps) || progressed != len(exps) {
+		t.Fatalf("hooks saw %d results / %d progress, want %d", len(order), progressed, len(exps))
+	}
+	for i, e := range exps {
+		if order[i] != e.Name() {
+			t.Fatalf("hook order %v does not match input order", order)
+		}
+	}
+}
+
+// TestRunContextCanceled: a context cancelled mid-batch stops scheduling,
+// marks unstarted experiments with ctx.Err(), and the registry/testbed
+// machinery stays usable for a fresh run afterwards.
+func TestRunContextCanceled(t *testing.T) {
+	exps := experiments.All()
+	ctx, cancel := context.WithCancel(context.Background())
+	canceled := 0
+	rep := RunContext(ctx, exps, Options{Scale: tinyScale(), Seed: 4, Parallel: 1}, Hooks{
+		Result: func(i int, r ExperimentReport, res experiments.Result) {
+			cancel() // cancel as soon as the first experiment lands
+			if errors.Is(r.Err, context.Canceled) {
+				canceled++
+			}
+		},
+	})
+	if err := rep.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("report error = %v, want context.Canceled", err)
+	}
+	if canceled == 0 {
+		t.Fatal("no experiment was marked cancelled — cancellation did not interrupt the batch")
+	}
+	// Shared state is not corrupted: an immediate fresh run succeeds fully.
+	fresh := Run(exps, Options{Scale: tinyScale(), Seed: 4, Parallel: 1})
+	if err := fresh.Err(); err != nil {
+		t.Fatalf("batch after cancellation failed: %v", err)
+	}
+}
+
+// TestRunContextCanceledDuringPrewarm: a batch that dies in the prewarm
+// still delivers one Result hook per experiment (all marked with ctx.Err()),
+// honoring the Hooks.Result contract on the early-return path.
+func TestRunContextCanceledDuringPrewarm(t *testing.T) {
+	exps := experiments.All()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // prewarm fails immediately
+	var results int
+	rep := RunContext(ctx, exps, Options{Scale: tinyScale(), Seed: 8}, Hooks{
+		Result: func(i int, r ExperimentReport, res experiments.Result) {
+			if i != results {
+				t.Fatalf("result %d out of order", i)
+			}
+			if !errors.Is(r.Err, context.Canceled) || res != nil {
+				t.Fatalf("%s: err = %v, res = %v; want ctx error and nil result", r.Name, r.Err, res)
+			}
+			results++
+		},
+	})
+	if results != len(exps) {
+		t.Fatalf("result hooks = %d, want %d", results, len(exps))
+	}
+	if err := rep.Err(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("report error = %v", err)
 	}
 }
 

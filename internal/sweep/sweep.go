@@ -8,8 +8,8 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
-	"io"
 	"math/rand"
 	"time"
 
@@ -141,8 +141,9 @@ func MeanReport(sites []*webpage.Site, net simnet.NetworkConfig, protoName strin
 	return si, metrics.Report{SI: si, FVC: fvc, VC85: si, LVC: si, PLT: si, Complete: true}
 }
 
-// Run executes the sweep.
-func Run(cfg Config) (Result, error) {
+// Run executes the sweep. Cancelling ctx stops between sweep steps and
+// returns ctx.Err().
+func Run(ctx context.Context, cfg Config) (Result, error) {
 	if cfg.ProtoA == "" || cfg.ProtoB == "" {
 		return Result{}, fmt.Errorf("sweep: both protocols required")
 	}
@@ -161,6 +162,9 @@ func Run(cfg Config) (Result, error) {
 	res := Result{Cfg: cfg}
 	rng := rand.New(rand.NewSource(cfg.Seed ^ 0x53574545)) // "SWEE"
 	for _, v := range cfg.Values {
+		if err := ctx.Err(); err != nil {
+			return Result{}, err
+		}
 		net := Apply(cfg.Base, cfg.Dim, v)
 		siA, repA := MeanReport(cfg.Sites, net, cfg.ProtoA, cfg.Reps, cfg.Seed)
 		siB, repB := MeanReport(cfg.Sites, net, cfg.ProtoB, cfg.Reps, cfg.Seed)
@@ -196,16 +200,4 @@ func (r Result) Crossover(threshold float64) (float64, bool) {
 		}
 	}
 	return 0, false
-}
-
-// Render prints the sweep as a table.
-func (r Result) Render(w io.Writer) {
-	fmt.Fprintf(w, "Sweep %s over %s: %s vs %s\n",
-		r.Cfg.Dim, r.Cfg.Base.Name, r.Cfg.ProtoA, r.Cfg.ProtoB)
-	fmt.Fprintf(w, "%12s %12s %12s %8s %9s\n", "value", "SI(A)", "SI(B)", "B/A", "noticed")
-	for _, p := range r.Points {
-		fmt.Fprintf(w, "%12g %12s %12s %8.2f %8.0f%%\n",
-			p.Value, p.SIA.Round(time.Millisecond), p.SIB.Round(time.Millisecond),
-			p.GapRatio, p.PNoticeShare*100)
-	}
 }

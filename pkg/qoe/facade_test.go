@@ -1,0 +1,144 @@
+package qoe
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestLoadPage(t *testing.T) {
+	res, err := LoadPage(PageLoad{Site: "wikipedia.org", Network: "DSL", Protocol: "QUIC", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Complete || res.SI <= 0 || res.PLT <= 0 {
+		t.Fatalf("implausible load: %+v", res)
+	}
+	if res.Objects == 0 || res.Objects > res.ObjectsTotal {
+		t.Fatalf("object accounting: %d/%d", res.Objects, res.ObjectsTotal)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("no visual-progress trace")
+	}
+	// Scenario-library networks resolve too.
+	if _, err := LoadPage(PageLoad{Site: "wikipedia.org", Network: "congested-wifi", Protocol: "TCP", Seed: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, bad := range []PageLoad{
+		{Site: "nope.example", Network: "DSL", Protocol: "QUIC"},
+		{Site: "wikipedia.org", Network: "carrier-pigeon", Protocol: "QUIC"},
+		{Site: "wikipedia.org", Network: "DSL", Protocol: "SCTP"},
+	} {
+		if _, err := LoadPage(bad); err == nil {
+			t.Fatalf("LoadPage(%+v) should fail", bad)
+		}
+	}
+}
+
+func TestCompareAB(t *testing.T) {
+	out, err := CompareAB(context.Background(), ABStudy{
+		Site: "etsy.com", Network: "MSS", ProtoA: "QUIC", ProtoB: "TCP",
+		Recordings: 2, Voters: 120, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Votes != 120 {
+		t.Fatalf("votes = %d, want one per voter", out.Votes)
+	}
+	sum := out.ShareA + out.ShareNone + out.ShareB
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares do not partition: %v", sum)
+	}
+	if out.Noticed.Level != 0.99 || out.Noticed.Lo > out.Noticed.Point || out.Noticed.Hi < out.Noticed.Point {
+		t.Fatalf("bad interval: %+v", out.Noticed)
+	}
+	// On the satellite link the gap is seconds; the crowd should notice.
+	if out.Noticed.Point < 0.5 {
+		t.Fatalf("MSS QUIC-vs-TCP notice share %.2f implausibly low", out.Noticed.Point)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CompareAB(ctx, ABStudy{Site: "etsy.com", Network: "DSL", ProtoA: "QUIC", ProtoB: "TCP"}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled CompareAB returned %v", err)
+	}
+}
+
+func TestRatePanel(t *testing.T) {
+	out, err := RatePanel(context.Background(), RatingPanel{
+		Site: "nytimes.com", Network: "LTE", Environment: "free time", Voters: 40, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Environment != "Free Time" {
+		t.Fatalf("environment = %q", out.Environment)
+	}
+	if len(out.Ratings) != len(ProtocolNames()) {
+		t.Fatalf("ratings = %d, want one per stack", len(out.Ratings))
+	}
+	for _, r := range out.Ratings {
+		if r.Mean.Point <= 0 || r.Label == "" {
+			t.Fatalf("implausible rating %+v", r)
+		}
+	}
+	if out.ANOVA.P < 0 || out.ANOVA.P > 1 {
+		t.Fatalf("ANOVA p = %v", out.ANOVA.P)
+	}
+	if out.ANOVA.String() == "" {
+		t.Fatal("empty ANOVA rendering")
+	}
+
+	if _, err := RatePanel(context.Background(), RatingPanel{Site: "nytimes.com", Network: "LTE", Environment: "underwater"}); err == nil || !strings.Contains(err.Error(), "unknown environment") {
+		t.Fatalf("bad environment returned %v", err)
+	}
+}
+
+func TestSweep(t *testing.T) {
+	out, err := Sweep(context.Background(), SweepRequest{
+		Dimension: "speed", Base: "LTE", ProtoA: "QUIC", ProtoB: "TCP",
+		Values: []float64{0.5, 4}, Reps: 1, PanelSize: 50, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Points) != 2 {
+		t.Fatalf("points = %d", len(out.Points))
+	}
+	var buf bytes.Buffer
+	out.Render(&buf)
+	if !strings.Contains(buf.String(), "Sweep speed over LTE") {
+		t.Fatalf("render: %q", buf.String())
+	}
+	if _, err := Sweep(context.Background(), SweepRequest{Dimension: "altitude", Base: "LTE", ProtoA: "QUIC", ProtoB: "TCP", Values: []float64{1}}); err == nil {
+		t.Fatal("unknown dimension should fail")
+	}
+}
+
+func TestCatalogs(t *testing.T) {
+	if len(ExperimentNames()) == 0 || len(Experiments()) != len(ExperimentNames()) {
+		t.Fatal("experiment catalog inconsistent")
+	}
+	if len(Sites()) != 36 {
+		t.Fatalf("sites = %d, want the 36-site corpus", len(Sites()))
+	}
+	if len(Networks()) != 4 || len(Scenarios()) != 4 {
+		t.Fatalf("networks = %d, scenarios = %d", len(Networks()), len(Scenarios()))
+	}
+	if len(NetworkNames()) != len(Networks())+len(Scenarios()) {
+		t.Fatal("NetworkNames should span Table 2 plus the library")
+	}
+	if len(ProtocolNames()) != 5 {
+		t.Fatalf("protocols = %d", len(ProtocolNames()))
+	}
+	if len(Environments()) != 3 {
+		t.Fatalf("environments = %v", Environments())
+	}
+	if DeriveSeed(7, "a") == DeriveSeed(7, "b") {
+		t.Fatal("DeriveSeed must separate names")
+	}
+}

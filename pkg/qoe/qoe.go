@@ -1,0 +1,162 @@
+// Package qoe is the public, versioned SDK of the QUIC-QoE reproduction —
+// the one importable surface over the internal testbed, experiment registry,
+// batch runner, and population-scale study engine.
+//
+// The core abstraction is a Session: it owns experiment selection, testbed
+// construction, seeding, and scale, and streams a run's results to a Sink as
+// typed events (RowEvent, ProgressEvent, SummaryEvent) with a versioned wire
+// encoding (SchemaVersion). Adapter sinks (TextSink, CSVSink, JSONSink)
+// reproduce the classic whole-document renderings byte-for-byte; StreamSink
+// emits the schema_version 1 NDJSON event stream.
+//
+//	sess, err := qoe.NewSession(
+//		qoe.WithScenarios("table1", "fig4"),
+//		qoe.WithSeed(1),
+//	)
+//	if err != nil { ... }
+//	summary, err := sess.Run(ctx, qoe.TextSink(os.Stdout))
+//
+// Run honors ctx end to end: cancellation stops the testbed prewarm between
+// conditions, skips unstarted experiments, and aborts population shard
+// loops within one participant's worth of work.
+//
+// Beyond batch experiments, the package exposes the single-shot facades the
+// command-line tools are built on: LoadPage (one page load), CompareAB (an
+// A/B "do users notice?" study on one pairing), RatePanel (a "do users
+// care?" rating panel), and Sweep (the noticeability-crossover parameter
+// sweep), plus catalogs of the available experiments, sites, networks,
+// scenarios, and protocol stacks.
+package qoe
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/simnet"
+	"repro/internal/webpage"
+)
+
+// SchemaVersion is the version of the streamed event wire encoding emitted
+// by StreamSink. Consumers should reject events with a version they do not
+// know.
+const SchemaVersion = 1
+
+// Interval is a confidence interval around a point estimate.
+type Interval struct {
+	Point float64
+	Lo    float64
+	Hi    float64
+	Level float64 // confidence level, e.g. 0.99
+}
+
+// ExperimentInfo describes one registered experiment.
+type ExperimentInfo struct {
+	Name string
+	// Networks and Protocols size the recording grid the experiment declares
+	// for the shared-testbed prewarm; both are zero for experiments that
+	// drive the page loader directly.
+	Networks  int
+	Protocols int
+}
+
+// ExperimentNames lists every registered experiment in canonical
+// (paper-artifact) order. The pseudo-name "all" selects all of them in
+// WithScenarios.
+func ExperimentNames() []string { return experiments.Names() }
+
+// Experiments describes every registered experiment in canonical order.
+func Experiments() []ExperimentInfo {
+	names := experiments.Names()
+	out := make([]ExperimentInfo, 0, len(names))
+	for _, name := range names {
+		e, _ := experiments.Lookup(name)
+		nets, prots := e.Conditions()
+		out = append(out, ExperimentInfo{Name: name, Networks: len(nets), Protocols: len(prots)})
+	}
+	return out
+}
+
+// SiteInfo describes one site of the synthetic page corpus.
+type SiteInfo struct {
+	Name    string
+	Objects int
+	Bytes   int64
+	Hosts   int
+	// Lab marks the five sites of the paper's controlled lab study.
+	Lab bool
+}
+
+func siteInfos(sites []*webpage.Site) []SiteInfo {
+	out := make([]SiteInfo, 0, len(sites))
+	for _, s := range sites {
+		out = append(out, SiteInfo{Name: s.Name, Objects: len(s.Objects), Bytes: s.TotalBytes(), Hosts: s.HostCount(), Lab: s.Lab})
+	}
+	return out
+}
+
+// Sites lists the full 36-site corpus.
+func Sites() []SiteInfo { return siteInfos(webpage.Corpus()) }
+
+// LabSites lists the five-site lab corpus (the quick-scale testbed set).
+func LabSites() []SiteInfo { return siteInfos(webpage.LabCorpus()) }
+
+// NetworkInfo describes one emulated network operating point.
+type NetworkInfo struct {
+	Name        string
+	UplinkBps   int64
+	DownlinkBps int64
+	MinRTT      time.Duration
+	LossRate    float64
+	QueueDelay  time.Duration
+	Description string // non-empty for scenario-library profiles
+}
+
+func networkInfo(c simnet.NetworkConfig, desc string) NetworkInfo {
+	return NetworkInfo{
+		Name:        c.Name,
+		UplinkBps:   c.UplinkBps,
+		DownlinkBps: c.DownlinkBps,
+		MinRTT:      c.MinRTT,
+		LossRate:    c.LossRate,
+		QueueDelay:  c.QueueDelay,
+		Description: desc,
+	}
+}
+
+// Networks lists the paper's four Table 2 operating points.
+func Networks() []NetworkInfo {
+	var out []NetworkInfo
+	for _, c := range simnet.Networks() {
+		out = append(out, networkInfo(c, ""))
+	}
+	return out
+}
+
+// Scenarios lists the scenario-library profiles beyond Table 2.
+func Scenarios() []NetworkInfo {
+	var out []NetworkInfo
+	for _, s := range simnet.Scenarios() {
+		out = append(out, networkInfo(s.Cfg, s.Description))
+	}
+	return out
+}
+
+// NetworkNames lists every resolvable network name: the Table 2 rows
+// followed by the scenario library.
+func NetworkNames() []string {
+	all := simnet.AllNetworks()
+	out := make([]string, 0, len(all))
+	for _, c := range all {
+		out = append(out, c.Name)
+	}
+	return out
+}
+
+// ProtocolNames lists the Table 1 protocol stacks.
+func ProtocolNames() []string { return core.ProtocolNames() }
+
+// DeriveSeed mixes a name into a master seed with the same FNV-1a idiom the
+// testbed and runner use internally — handy for giving each unit of caller-
+// side work (a network, a site, a shard) an independent, reproducible seed.
+func DeriveSeed(master int64, name string) int64 { return core.DeriveSeed(master, name) }

@@ -1,0 +1,234 @@
+package qoe
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+// sessionScenarios is a small but representative selection: two static
+// tables plus one experiment that really simulates (the 0-RTT extension
+// drives the page loader).
+var sessionScenarios = []string{"table1", "table2", "ext-0rtt"}
+
+// legacyOutputs renders the same selection through the deprecated batch
+// runner in the given format.
+func legacyOutputs(t *testing.T, format runner.Format, seed int64) []byte {
+	t.Helper()
+	exps, err := experiments.Select(sessionScenarios...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := ScaleQuick.testbedScale()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := runner.Run(exps, runner.Options{Scale: sc, Seed: seed, Format: format})
+	var buf bytes.Buffer
+	if err := rep.WriteOutputs(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func newTestSession(t *testing.T, seed int64, parallel int) *Session {
+	t.Helper()
+	sess, err := NewSession(
+		WithScenarios(sessionScenarios...),
+		WithSeed(seed),
+		WithScale(ScaleQuick),
+		WithParallelism(parallel),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sess
+}
+
+// TestAdapterSinksMatchLegacyRunner: the adapter sinks must reproduce the
+// pre-SDK text (framed), CSV, and JSON batch outputs byte-for-byte — the
+// contract that keeps cmd/qoebench's output and the goldens stable across
+// the redesign.
+func TestAdapterSinksMatchLegacyRunner(t *testing.T) {
+	const seed = 21
+	for _, tc := range []struct {
+		format runner.Format
+		sink   func(*bytes.Buffer) Sink
+	}{
+		{runner.Text, func(b *bytes.Buffer) Sink { return TextSink(b) }},
+		{runner.CSV, func(b *bytes.Buffer) Sink { return CSVSink(b) }},
+		{runner.JSON, func(b *bytes.Buffer) Sink { return JSONSink(b) }},
+	} {
+		want := legacyOutputs(t, tc.format, seed)
+		var got bytes.Buffer
+		sess := newTestSession(t, seed, 4)
+		if _, err := sess.Run(context.Background(), tc.sink(&got)); err != nil {
+			t.Fatalf("%s: %v", tc.format, err)
+		}
+		if !bytes.Equal(got.Bytes(), want) {
+			t.Fatalf("%s: adapter sink output differs from legacy runner output\n got %d bytes\nwant %d bytes", tc.format, got.Len(), len(want))
+		}
+	}
+}
+
+// collectSink records every event for structural assertions and can cancel
+// the run after the first result.
+type collectSink struct {
+	rows      []RowEvent
+	progress  []ProgressEvent
+	results   []ResultEvent
+	summaries []SummaryEvent
+	onResult  func()
+}
+
+func (s *collectSink) Row(ev RowEvent) error { s.rows = append(s.rows, ev); return nil }
+func (s *collectSink) Progress(ev ProgressEvent) error {
+	s.progress = append(s.progress, ev)
+	return nil
+}
+func (s *collectSink) Summary(ev SummaryEvent) error {
+	s.summaries = append(s.summaries, ev)
+	return nil
+}
+func (s *collectSink) Result(ev ResultEvent) error {
+	s.results = append(s.results, ev)
+	if s.onResult != nil {
+		s.onResult()
+	}
+	return nil
+}
+
+// TestSessionStreamsTypedEvents: a run delivers results in selection order,
+// rows for every experiment, progress covering every experiment, and exactly
+// one summary whose counters are consistent.
+func TestSessionStreamsTypedEvents(t *testing.T) {
+	sess := newTestSession(t, 3, 2)
+	sink := &collectSink{}
+	summary, err := sess.Run(context.Background(), sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.results) != len(sessionScenarios) {
+		t.Fatalf("results = %d, want %d", len(sink.results), len(sessionScenarios))
+	}
+	for i, name := range sessionScenarios {
+		if sink.results[i].Experiment != name {
+			t.Fatalf("result order %v, want %v", sink.results, sessionScenarios)
+		}
+	}
+	if len(sink.rows) == 0 || len(sink.rows) != summary.Rows {
+		t.Fatalf("rows delivered %d, summary says %d", len(sink.rows), summary.Rows)
+	}
+	perExp := map[string]int{}
+	for _, r := range sink.rows {
+		if r.Index != perExp[r.Experiment] {
+			t.Fatalf("row indices of %s not contiguous", r.Experiment)
+		}
+		perExp[r.Experiment]++
+		if len(r.Data) == 0 || (r.Data[0] != '{' && r.Data[0] != '[') {
+			t.Fatalf("row data not compact JSON: %q", r.Data)
+		}
+	}
+	for _, name := range sessionScenarios {
+		if perExp[name] == 0 {
+			t.Fatalf("no rows for %s", name)
+		}
+	}
+	expProgress := 0
+	for _, p := range sink.progress {
+		if p.Stage == StageExperiment && p.Experiment != "" {
+			expProgress++
+		}
+	}
+	if expProgress != len(sessionScenarios) {
+		t.Fatalf("experiment progress events = %d, want %d", expProgress, len(sessionScenarios))
+	}
+	if len(sink.summaries) != 1 || sink.summaries[0] != summary.SummaryEvent {
+		t.Fatalf("summary events %v inconsistent with returned summary %v", sink.summaries, summary.SummaryEvent)
+	}
+	if summary.Experiments != len(sessionScenarios) {
+		t.Fatalf("summary experiments = %d", summary.Experiments)
+	}
+}
+
+// TestSessionRunCanceledMidBatch: cancelling the context from inside the
+// sink (after the first result) aborts the rest of the batch with ctx.Err(),
+// and a fresh session afterwards runs to completion — no shared state is
+// corrupted by the aborted run.
+func TestSessionRunCanceledMidBatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sink := &collectSink{onResult: cancel}
+	sess := newTestSession(t, 5, 1)
+	_, err := sess.Run(ctx, sink)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run returned %v, want context.Canceled", err)
+	}
+	if len(sink.results) == 0 {
+		t.Fatal("expected at least the first result before cancellation")
+	}
+	var sawCanceled bool
+	for _, r := range sink.results {
+		if errors.Is(r.Err, context.Canceled) {
+			sawCanceled = true
+		}
+	}
+	if !sawCanceled {
+		t.Fatal("no experiment was marked cancelled")
+	}
+
+	fresh := newTestSession(t, 5, 1)
+	if _, err := fresh.Run(context.Background(), &collectSink{}); err != nil {
+		t.Fatalf("fresh run after cancellation failed: %v", err)
+	}
+}
+
+// errSink fails on the first row; the run must stop and surface the error.
+type errSink struct{ collectSink }
+
+func (s *errSink) Row(RowEvent) error { return errors.New("sink full") }
+
+// TestSinkErrorAbortsRun: a failing sink cancels the run and its error is
+// what Run returns.
+func TestSinkErrorAbortsRun(t *testing.T) {
+	sess := newTestSession(t, 6, 1)
+	_, err := sess.Run(context.Background(), &errSink{})
+	if err == nil || !strings.Contains(err.Error(), "sink full") {
+		t.Fatalf("Run returned %v, want the sink error", err)
+	}
+}
+
+// TestNewSessionValidation: option errors surface at construction, including
+// the registry's did-you-mean suggestion for mistyped experiment names.
+func TestNewSessionValidation(t *testing.T) {
+	if _, err := NewSession(WithScenarios("fig7")); err == nil || !strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("NewSession(fig7) = %v, want did-you-mean error", err)
+	}
+	if _, err := NewSession(WithScale(Scale("huge"))); err == nil {
+		t.Fatal("unknown scale should fail")
+	}
+	if _, err := NewSession(WithParallelism(-1)); err == nil {
+		t.Fatal("negative parallelism should fail")
+	}
+	if _, err := ParseScale("paper"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseScale("galactic"); err == nil {
+		t.Fatal("ParseScale should reject unknown names")
+	}
+	sess, err := NewSession()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sess.Experiments(); len(got) != len(ExperimentNames()) {
+		t.Fatalf("default selection = %v, want the full registry", got)
+	}
+	if sess.Parallelism() < 1 {
+		t.Fatalf("parallelism = %d, want >= 1 (resolved default)", sess.Parallelism())
+	}
+}

@@ -1,0 +1,110 @@
+package qoe
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// TextSink renders every experiment's classic text table to w, framed by the
+// qoebench timing line — byte-identical to the pre-SDK `qoebench` text
+// output. Row and progress events are ignored; the first failed experiment
+// aborts the run with its error.
+func TextSink(w io.Writer) Sink { return &textSink{w: w} }
+
+type textSink struct{ w io.Writer }
+
+func (s *textSink) Row(RowEvent) error           { return nil }
+func (s *textSink) Progress(ProgressEvent) error { return nil }
+func (s *textSink) Summary(SummaryEvent) error   { return nil }
+func (s *textSink) discardsRows()                {}
+
+func (s *textSink) Result(ev ResultEvent) error {
+	if ev.Err != nil {
+		return fmt.Errorf("%s: %w", ev.Experiment, ev.Err)
+	}
+	ev.Doc.Render(s.w)
+	_, err := fmt.Fprintf(s.w, "\n[%s done in %v]\n\n", ev.Experiment, ev.Duration.Round(time.Millisecond))
+	return err
+}
+
+// CSVSink writes every experiment's CSV document to w, unframed — one
+// document per experiment, byte-identical to `qoebench -format csv`.
+func CSVSink(w io.Writer) Sink { return &docSink{w: w, encode: Document.CSV} }
+
+// JSONSink writes every experiment's indented-JSON document to w, unframed —
+// byte-identical to `qoebench -format json`. For the streaming row-event
+// encoding use StreamSink instead.
+func JSONSink(w io.Writer) Sink { return &docSink{w: w, encode: Document.JSON} }
+
+// docSink renders whole documents through one of the Document encoders.
+type docSink struct {
+	w      io.Writer
+	encode func(Document, io.Writer) error
+}
+
+func (s *docSink) Row(RowEvent) error           { return nil }
+func (s *docSink) Progress(ProgressEvent) error { return nil }
+func (s *docSink) Summary(SummaryEvent) error   { return nil }
+func (s *docSink) discardsRows()                {}
+
+func (s *docSink) Result(ev ResultEvent) error {
+	if ev.Err != nil {
+		return fmt.Errorf("%s: %w", ev.Experiment, ev.Err)
+	}
+	return s.encode(ev.Doc, s.w)
+}
+
+// StreamSink emits the versioned NDJSON event stream: one JSON object per
+// line, each carrying `"schema_version": 1` and a `"type"` of "row",
+// "progress", or "summary". Row and summary lines are deterministic for a
+// fixed session configuration; progress lines interleave in completion
+// order and carry no wall-clock values, so the whole stream is reproducible
+// for sequential (or single-experiment) runs.
+func StreamSink(w io.Writer) Sink { return &streamSink{enc: json.NewEncoder(w)} }
+
+type streamSink struct{ enc *json.Encoder }
+
+type rowWire struct {
+	Schema     int             `json:"schema_version"`
+	Type       string          `json:"type"`
+	Experiment string          `json:"experiment"`
+	Index      int             `json:"index"`
+	Data       json.RawMessage `json:"data"`
+}
+
+type progressWire struct {
+	Schema     int    `json:"schema_version"`
+	Type       string `json:"type"`
+	Stage      string `json:"stage"`
+	Experiment string `json:"experiment,omitempty"`
+	Completed  int    `json:"completed"`
+	Total      int    `json:"total"`
+}
+
+type summaryWire struct {
+	Schema       int    `json:"schema_version"`
+	Type         string `json:"type"`
+	Experiments  int    `json:"experiments"`
+	Rows         int    `json:"rows"`
+	Conditions   int    `json:"conditions"`
+	CacheRecords uint64 `json:"cache_records"`
+	CacheHits    uint64 `json:"cache_hits"`
+}
+
+func (s *streamSink) Row(ev RowEvent) error {
+	return s.enc.Encode(rowWire{Schema: SchemaVersion, Type: "row", Experiment: ev.Experiment, Index: ev.Index, Data: ev.Data})
+}
+
+func (s *streamSink) Progress(ev ProgressEvent) error {
+	return s.enc.Encode(progressWire{Schema: SchemaVersion, Type: "progress", Stage: string(ev.Stage), Experiment: ev.Experiment, Completed: ev.Completed, Total: ev.Total})
+}
+
+func (s *streamSink) Summary(ev SummaryEvent) error {
+	return s.enc.Encode(summaryWire{
+		Schema: SchemaVersion, Type: "summary",
+		Experiments: ev.Experiments, Rows: ev.Rows, Conditions: ev.Conditions,
+		CacheRecords: ev.CacheRecords, CacheHits: ev.CacheHits,
+	})
+}

@@ -1,0 +1,107 @@
+package qoe
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+// runStream runs the given scenarios sequentially through a StreamSink and
+// returns the raw NDJSON bytes.
+func runStream(t *testing.T, seed int64, scenarios ...string) []byte {
+	t.Helper()
+	sess, err := NewSession(WithScenarios(scenarios...), WithSeed(seed), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := sess.Run(context.Background(), StreamSink(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamSinkWireFormat: every line is a standalone JSON object carrying
+// schema_version 1 and a known type; rows precede the single trailing
+// summary, and the summary's row count matches the rows emitted.
+func TestStreamSinkWireFormat(t *testing.T) {
+	out := runStream(t, 1, "table1", "table2")
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	var types []string
+	rows := 0
+	var summaryRows int
+	for sc.Scan() {
+		var ev struct {
+			Schema     int             `json:"schema_version"`
+			Type       string          `json:"type"`
+			Experiment string          `json:"experiment"`
+			Data       json.RawMessage `json:"data"`
+			Rows       int             `json:"rows"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("unparseable stream line %q: %v", sc.Text(), err)
+		}
+		if ev.Schema != SchemaVersion {
+			t.Fatalf("line %q carries schema_version %d, want %d", sc.Text(), ev.Schema, SchemaVersion)
+		}
+		switch ev.Type {
+		case "row":
+			rows++
+			if ev.Experiment == "" || len(ev.Data) == 0 {
+				t.Fatalf("row line missing experiment or data: %q", sc.Text())
+			}
+		case "progress":
+		case "summary":
+			summaryRows = ev.Rows
+		default:
+			t.Fatalf("unknown event type %q", ev.Type)
+		}
+		types = append(types, ev.Type)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if rows == 0 {
+		t.Fatal("stream carried no rows")
+	}
+	if types[len(types)-1] != "summary" {
+		t.Fatalf("stream must end with the summary, got %v", types)
+	}
+	if summaryRows != rows {
+		t.Fatalf("summary rows %d != emitted rows %d", summaryRows, rows)
+	}
+}
+
+// TestStreamDeterministic: a sequential stream is byte-identical across
+// runs for a fixed configuration — the property the stream golden pins.
+func TestStreamDeterministic(t *testing.T) {
+	a := runStream(t, 7, "table1", "ext-0rtt")
+	b := runStream(t, 7, "table1", "ext-0rtt")
+	if !bytes.Equal(a, b) {
+		t.Fatal("stream output not reproducible across runs")
+	}
+}
+
+// TestRowEventsSingleDocument: an experiment whose JSON encoding is a single
+// object (not an array) streams as exactly one row.
+func TestRowEventsSingleDocument(t *testing.T) {
+	sess, err := NewSession(WithScenarios("pop-sweep"), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if testing.Short() {
+		t.Skip("runs a population sweep")
+	}
+	sink := &collectSink{}
+	if _, err := sess.Run(context.Background(), sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.rows) != 1 {
+		t.Fatalf("pop-sweep rows = %d, want 1 (single-document result)", len(sink.rows))
+	}
+	if !json.Valid(sink.rows[0].Data) {
+		t.Fatal("row data is not valid JSON")
+	}
+}

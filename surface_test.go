@@ -1,0 +1,51 @@
+package repro_test
+
+// Public-surface guard: the commands and examples are the repository's
+// public face, and since the pkg/qoe SDK carve-out they must consume the
+// system exclusively through it. This test fails the build the moment a
+// cmd/ or examples/ file imports repro/internal/... directly — the
+// compile-time equivalent of Go's internal-package rule, applied one module
+// boundary early so the SDK surface stays honest before the repo is ever
+// split.
+
+import (
+	"go/parser"
+	"go/token"
+	"io/fs"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestPublicSurfaceImportsNoInternals(t *testing.T) {
+	checked := 0
+	for _, root := range []string{"cmd", "examples"} {
+		err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if d.IsDir() || !strings.HasSuffix(path, ".go") {
+				return nil
+			}
+			checked++
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
+			if err != nil {
+				return err
+			}
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if strings.HasPrefix(p, "repro/internal/") || p == "repro/internal" {
+					t.Errorf("%s imports %s — cmd/ and examples/ must use repro/pkg/qoe only", path, p)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if checked < 8 {
+		t.Fatalf("guard walked only %d files — cmd/ or examples/ missing?", checked)
+	}
+}
