@@ -4,7 +4,7 @@
 // Usage:
 //
 //	qoebench [-scale quick|standard|paper] [-seed N] [-format text|csv|json]
-//	         [-parallel N] [-stream] <experiment> [experiment ...]
+//	         [-parallel N] [-stream] [-timeout DUR] <experiment> [experiment ...]
 //	qoebench -list
 //
 // Experiments are discovered from the public SDK's registry catalog
@@ -24,13 +24,14 @@
 // lines are deterministic like the documents; progress lines report
 // completion order, so pin -parallel 1 when diffing whole streams.
 //
-// The run honors interruption: Ctrl-C cancels the session context, which
-// stops the prewarm between conditions, skips unstarted experiments, and
-// winds population shard loops down promptly.
+// The run honors interruption: Ctrl-C — or an elapsed -timeout — cancels the
+// session context, which stops the prewarm between conditions, skips
+// unstarted experiments, and winds population shard loops down promptly.
 package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -48,12 +49,13 @@ func main() {
 	format := flag.String("format", "text", "output format for every experiment: text, csv or json")
 	parallel := flag.Int("parallel", 0, "max experiments running concurrently (0 = all cores, 1 = sequential)")
 	stream := flag.Bool("stream", false, "emit the schema_version 1 NDJSON event stream instead of -format documents")
+	timeout := flag.Duration("timeout", 0, "abort the run after this duration (0 = none); uses the same cancellation path as Ctrl-C")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file` (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
 	benchTrace := flag.String("bench-trace", "", "write a runtime execution trace of the run to `file` (go tool trace)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qoebench [-scale quick|standard|paper] [-seed N] [-format text|csv|json] [-parallel N] [-stream] <experiment> [experiment ...]\n")
+		fmt.Fprintf(os.Stderr, "usage: qoebench [-scale quick|standard|paper] [-seed N] [-format text|csv|json] [-parallel N] [-stream] [-timeout DUR] <experiment> [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       qoebench -list\n")
 		fmt.Fprintf(os.Stderr, "experiments: %v all\n", qoe.ExperimentNames())
 		flag.PrintDefaults()
@@ -121,9 +123,22 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
+	if *timeout > 0 {
+		// -timeout rides the same context the Ctrl-C handler cancels, so a
+		// deadline stops the run exactly like an interrupt: prewarm halts
+		// between conditions, unstarted experiments are skipped, and
+		// population shard loops wind down promptly.
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
 
 	summary, err := runProfiled(ctx, sess, sink, *cpuprofile, *memprofile, *benchTrace)
 	if err != nil {
+		if *timeout > 0 && errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "qoebench: run exceeded -timeout %v\n", *timeout)
+			os.Exit(1)
+		}
 		fmt.Fprintf(os.Stderr, "qoebench: %v\n", err)
 		os.Exit(1)
 	}

@@ -1,0 +1,73 @@
+package main
+
+// End-to-end flag tests for the qoebench binary. These build the real
+// binary and exercise the -timeout cancellation path — the same context
+// plumbing the Ctrl-C handler and the qoed drain use.
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildQoebench compiles the binary once per test run.
+func buildQoebench(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "qoebench")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestTimeoutFlagAbortsRun: an immediately-elapsing -timeout aborts the run
+// with exit status 1 and the deadline message, instead of hanging or
+// reporting success.
+func TestTimeoutFlagAbortsRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildQoebench(t)
+	// 1ns has elapsed before the session even starts; "all" would otherwise
+	// run the full suite for many seconds.
+	cmd := exec.Command(bin, "-timeout", "1ns", "all")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	err := cmd.Run()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 1 {
+		t.Fatalf("expected exit 1, got %v\nstderr: %s", err, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "exceeded -timeout") {
+		t.Fatalf("stderr missing timeout message:\n%s", stderr.String())
+	}
+}
+
+// TestTimeoutFlagGenerousDeadlinePasses: a deadline the run comfortably
+// beats must not perturb the output — stdout stays byte-identical to an
+// un-timed run.
+func TestTimeoutFlagGenerousDeadlinePasses(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildQoebench(t)
+	run := func(args ...string) []byte {
+		var stdout, stderr bytes.Buffer
+		cmd := exec.Command(bin, args...)
+		cmd.Stdout = &stdout
+		cmd.Stderr = &stderr
+		if err := cmd.Run(); err != nil {
+			t.Fatalf("%v failed: %v\nstderr: %s", args, err, stderr.String())
+		}
+		return stdout.Bytes()
+	}
+	timed := run("-timeout", "10m", "-seed", "1", "table1")
+	plain := run("-seed", "1", "table1")
+	if !bytes.Equal(timed, plain) {
+		t.Fatal("-timeout perturbed the run output")
+	}
+}

@@ -1,0 +1,116 @@
+// Command qoed is the study-serving daemon: a long-running HTTP service
+// exposing the full experiment catalog of the QUIC-QoE reproduction, built
+// for many concurrent participants the way the paper's hosted study was.
+//
+// Usage:
+//
+//	qoed [-addr :8080] [-workers N] [-queue N] [-cache-mb MB]
+//	     [-retry-after DUR] [-drain DUR]
+//
+// Because every run is a pure function of its canonical tuple (sorted
+// experiments, scale, seed, schema version), the daemon never simulates the
+// same study twice at once: concurrent identical requests share one
+// simulation via singleflight broadcast, finished runs replay from a
+// content-addressed LRU cache with zero simulation, and a bounded worker
+// pool + queue sheds excess load with 429 + Retry-After instead of melting.
+//
+// Endpoints:
+//
+//	GET  /healthz                 liveness (503 while draining)
+//	GET  /metrics                 expvar counters (runs started/deduped/
+//	                              cache-hit/rejected, queue depth, bytes)
+//	GET  /v1/catalog              experiments, networks, scenarios, scales
+//	POST /v1/runs                 start a durable run (JSON body)
+//	GET  /v1/runs/{id}            run status
+//	GET  /v1/runs/{id}/stream     NDJSON event stream of a run
+//	GET  /v1/run?experiments=...  one-shot: admit + stream in one request,
+//	                              byte-compatible with `qoebench -stream`
+//
+// SIGINT/SIGTERM drains gracefully: admission stops, in-flight runs get
+// -drain to finish, then are cancelled cleanly through the same context
+// plumbing qoebench's Ctrl-C uses.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/pkg/qoe/qoed"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	workers := flag.Int("workers", 0, "max concurrent simulations (0 = one per core)")
+	queue := flag.Int("queue", 16, "max queued runs before shedding load with 429")
+	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MiB (<= 0 disables caching)")
+	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429 responses")
+	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight runs at shutdown")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: qoed [-addr :8080] [-workers N] [-queue N] [-cache-mb MB] [-retry-after DUR] [-drain DUR]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	logger := log.New(os.Stderr, "", log.LstdFlags)
+	cacheBytes := *cacheMB << 20
+	if *cacheMB <= 0 {
+		// <= 0 disables caching outright; serve.Config treats exactly zero
+		// as "use the default", which is not what a zero budget asks for.
+		cacheBytes = -1
+	}
+	srv := qoed.New(qoed.Config{
+		Workers:    *workers,
+		QueueDepth: *queue,
+		CacheBytes: cacheBytes,
+		RetryAfter: *retryAfter,
+		Logf:       logger.Printf,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatalf("qoed: %v", err)
+	}
+	// This exact line is the daemon's readiness contract: scripts (and the
+	// CI smoke job) parse the bound address from it, which is what makes
+	// `-addr 127.0.0.1:0` usable for hermetic harnesses.
+	logger.Printf("qoed: listening on %s", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case err := <-serveErr:
+		logger.Fatalf("qoed: serve: %v", err)
+	}
+	stop() // a second signal kills immediately instead of waiting for drain
+
+	logger.Printf("qoed: draining (up to %v for in-flight runs)", *drain)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil {
+		logger.Printf("qoed: drain deadline hit, in-flight runs cancelled: %v", err)
+	}
+	httpCtx, cancelHTTP := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancelHTTP()
+	if err := httpSrv.Shutdown(httpCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		logger.Printf("qoed: http shutdown: %v", err)
+	}
+	logger.Printf("qoed: stopped")
+}

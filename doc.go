@@ -11,12 +11,18 @@
 //
 //	pkg/qoe       — the public, versioned SDK: everything below reaches the
 //	                system through it
+//	cmd/qoed      — the study-serving daemon: the full catalog over HTTP
+//	                with singleflight dedup, a result cache, and NDJSON
+//	                streaming (see EXPERIMENTS.md "Serving studies")
 //	cmd/qoebench  — regenerate every table and figure of the evaluation
-//	                (add -stream for the schema_version 1 NDJSON row stream)
+//	                (add -stream for the schema_version 1 NDJSON row stream,
+//	                -timeout to bound the run)
 //	cmd/pageload  — load one site under one configuration
 //	cmd/netsweep  — locate the noticeability crossover along one dimension
 //	examples/     — runnable SDK tours (examples/quickstart is the
-//	                one-minute Session.Run(ctx, sink) introduction)
+//	                one-minute Session.Run(ctx, sink) introduction;
+//	                examples/remotestudy serves and consumes studies over
+//	                HTTP in one process)
 //
 // The SDK's pivot is qoe.Session: functional options (WithScenarios,
 // WithScale, WithSeed, WithParallelism) select and configure a run, and
@@ -55,6 +61,21 @@
 // diffable with tools/benchdiff), while every golden output stays
 // byte-identical. qoebench's -cpuprofile, -memprofile, and -bench-trace
 // flags expose the run to the standard Go profiling tools.
+//
+// The serving layer (internal/serve, fronted publicly by pkg/qoe/qoed and
+// cmd/qoed) turns the SDK into the hosted study service the paper actually
+// operated: because a run is a pure function of its canonical tuple (sorted
+// experiments, scale, seed, schema version), N concurrent identical requests
+// share ONE simulation through a singleflight job table and broadcast
+// buffer, finished runs replay byte-identically from a content-addressed LRU
+// cache with zero simulation, and a bounded worker pool + queue sheds excess
+// load with 429 + Retry-After. A sink error aborts Session.Run promptly with
+// that error — the contract direct stream consumers rely on; the daemon's
+// own sink is its in-memory broadcast buffer, so it handles client
+// disconnects one level up, via subscription bookkeeping that cancels
+// abandoned one-shot runs through the same context plumbing Ctrl-C and
+// qoebench's -timeout use. qoe.Client consumes a served daemon with the same
+// Sink interfaces a local Session feeds, via qoe.DecodeStream.
 //
 // Beyond the paper's grid, internal/simnet carries a named scenario library
 // (fast-fiber, congested-wifi, lossy-satellite, throttled-3g) and

@@ -1,0 +1,95 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache is the content-addressed LRU over finished run streams: ID →
+// the complete NDJSON bytes of that canonical tuple's run. Because runs are
+// deterministic, an entry never goes stale — eviction exists only to bound
+// memory, so the cache is sized in bytes, not entries. Replaying a hit is a
+// single buffer write: zero simulation, zero allocation beyond the response.
+type resultCache struct {
+	mu    sync.Mutex
+	max   int64 // byte budget; <= 0 disables caching entirely
+	size  int64
+	order *list.List // front = most recently used
+	byID  map[string]*list.Element
+
+	// evictions counts entries dropped for the byte budget — the signal an
+	// operator sizes CacheBytes by (exported as the cache_evictions gauge).
+	// Hit/miss accounting lives at the admission layer (runs_cache_hit).
+	evictions uint64
+}
+
+type cacheEntry struct {
+	id   string
+	key  string // human-readable tuple, for /v1/runs/{id} introspection
+	data []byte
+}
+
+func newResultCache(maxBytes int64) *resultCache {
+	return &resultCache{max: maxBytes, order: list.New(), byID: map[string]*list.Element{}}
+}
+
+// get returns the cached stream for id, promoting it to most recently used.
+// The returned slice is shared and must be treated as read-only.
+func (c *resultCache) get(id string) ([]byte, string, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byID[id]
+	if !ok {
+		return nil, "", false
+	}
+	c.order.MoveToFront(el)
+	ent := el.Value.(*cacheEntry)
+	return ent.data, ent.key, true
+}
+
+// add inserts a finished run, evicting least-recently-used entries until the
+// byte budget holds. A stream larger than the whole budget is not cached —
+// it would only evict everything else to occupy the cache alone.
+func (c *resultCache) add(id, key string, data []byte) {
+	if int64(len(data)) > c.max {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		// Determinism means the bytes are identical; just refresh recency.
+		c.order.MoveToFront(el)
+		return
+	}
+	c.byID[id] = c.order.PushFront(&cacheEntry{id: id, key: key, data: data})
+	c.size += int64(len(data))
+	for c.size > c.max {
+		el := c.order.Back()
+		ent := el.Value.(*cacheEntry)
+		c.order.Remove(el)
+		delete(c.byID, ent.id)
+		c.size -= int64(len(ent.data))
+		c.evictions++
+	}
+}
+
+// bytes reports the current resident size.
+func (c *resultCache) bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.size
+}
+
+// entries reports the current entry count.
+func (c *resultCache) entries() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// evicted reports how many entries the byte budget has pushed out.
+func (c *resultCache) evicted() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
+}

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/pkg/qoe"
+)
+
+// routes wires the HTTP API:
+//
+//	GET  /healthz               liveness (503 while draining)
+//	GET  /metrics               expvar counter map
+//	GET  /v1/catalog            experiments, scenario library, scales
+//	POST /v1/runs               start (or dedup/cache-route) a run; JSON body
+//	GET  /v1/runs/{id}          run status
+//	GET  /v1/runs/{id}/stream   NDJSON event stream of a run
+//	GET  /v1/run                one-shot: admit + stream in a single request
+//
+// Response bodies reuse the SDK's exported wire types (qoe.Catalog,
+// qoe.RunStatus): the server marshals exactly what qoe.Client decodes, so
+// the two ends of the API cannot drift apart field by field.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.met.handleMetrics)
+	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	mux.HandleFunc("POST /v1/runs", s.handleStartRun)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleRunStatus)
+	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleRunStream)
+	mux.HandleFunc("GET /v1/run", s.handleOneShot)
+	return mux
+}
+
+// writeJSON emits one JSON document with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	// RetryAfterSeconds accompanies 429 responses, mirroring the
+	// Retry-After header for clients that only read bodies.
+	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+}
+
+// writeAdmitError maps admission failures onto HTTP semantics: a full queue
+// is 429 with the configured Retry-After hint (the backpressure contract),
+// draining is 503 (stop routing here), anything else is a 400 spec error.
+func (s *Server) writeAdmitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, errQueueFull):
+		secs := int(s.cfg.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{Error: err.Error(), RetryAfterSeconds: secs})
+	case errors.Is(err, errDraining):
+		w.Header().Set("Retry-After", "1")
+		writeJSON(w, http.StatusServiceUnavailable, errorBody{Error: err.Error()})
+	default:
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+	}
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	if draining {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func catalogNetworks(infos []qoe.NetworkInfo) []qoe.CatalogNetwork {
+	out := make([]qoe.CatalogNetwork, 0, len(infos))
+	for _, n := range infos {
+		out = append(out, qoe.CatalogNetwork{
+			Name:        n.Name,
+			UplinkBps:   n.UplinkBps,
+			DownlinkBps: n.DownlinkBps,
+			MinRTTMs:    float64(n.MinRTT) / float64(time.Millisecond),
+			LossRate:    n.LossRate,
+			Description: n.Description,
+		})
+	}
+	return out
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
+	body := qoe.Catalog{
+		SchemaVersion: qoe.SchemaVersion,
+		Networks:      catalogNetworks(qoe.Networks()),
+		Scenarios:     catalogNetworks(qoe.Scenarios()),
+		Scales:        qoe.ScaleNames(),
+	}
+	for _, e := range qoe.Experiments() {
+		body.Experiments = append(body.Experiments, qoe.CatalogEntry{Name: e.Name, Networks: e.Networks, Protocols: e.Protocols})
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// runRequest is the POST /v1/runs body. experiments and scenarios are
+// synonyms (their union is the selection); scale defaults to quick and seed
+// to 1, matching qoebench's defaults.
+type runRequest struct {
+	Experiments []string `json:"experiments"`
+	Scenarios   []string `json:"scenarios"`
+	Scale       string   `json:"scale"`
+	Seed        *int64   `json:"seed"`
+}
+
+// runStatusBody seeds a qoe.RunStatus with the constant envelope fields.
+func runStatusBody(id, key string) qoe.RunStatus {
+	return qoe.RunStatus{
+		SchemaVersion: qoe.SchemaVersion,
+		ID:            id,
+		Key:           key,
+		StreamURL:     "/v1/runs/" + id + "/stream",
+	}
+}
+
+func (s *Server) handleStartRun(w http.ResponseWriter, r *http.Request) {
+	var req runRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("serve: bad request body: %v", err)})
+		return
+	}
+	seed := int64(1)
+	if req.Seed != nil {
+		seed = *req.Seed
+	}
+	spec, err := Canonicalize(req.Experiments, req.Scenarios, req.Scale, seed)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	adm, err := s.admit(spec, false)
+	if err != nil {
+		s.writeAdmitError(w, err)
+		return
+	}
+	body := runStatusBody(adm.id, adm.key)
+	if adm.cached != nil {
+		body.Status, body.Source, body.Bytes = "cached", "cached", len(adm.cached)
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	// admit attached this request (promoting a deduped ephemeral job to
+	// durable); a POST does not stream, so release the subscription as soon
+	// as the status snapshot is taken. The job is non-ephemeral now, so
+	// releasing can never cancel it.
+	defer adm.j.unsubscribe()
+	if !adm.created {
+		body.Source = "deduped"
+	} else {
+		body.Source = "accepted"
+	}
+	state, n, jerr := adm.j.status()
+	body.Status, body.Bytes = state.String(), n
+	if jerr != nil {
+		body.Error = jerr.Error()
+	}
+	writeJSON(w, http.StatusAccepted, body)
+}
+
+func (s *Server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, cached, key, ok := s.lookup(id)
+	if !ok {
+		// The bytes may be gone (cache eviction, oversized stream, caching
+		// disabled) while the completed-run index still knows the outcome.
+		if rec, found := s.completedRecord(id); found {
+			body := runStatusBody(id, rec.key)
+			body.Status, body.Source, body.Bytes = "done", "evicted", rec.bytes
+			writeJSON(w, http.StatusOK, body)
+			return
+		}
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "serve: unknown run " + id})
+		return
+	}
+	body := runStatusBody(id, key)
+	if j == nil {
+		body.Status, body.Source, body.Bytes = "cached", "cached", len(cached)
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	state, n, jerr := j.status()
+	body.Status, body.Source, body.Bytes = state.String(), "live", n
+	if jerr != nil {
+		// A finished job with an error is a tombstone, not an in-flight
+		// broadcast; "live" is reserved for runs that are actually running.
+		if state == jobDone {
+			body.Source = "failed"
+		}
+		body.Error = jerr.Error()
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// streamHeaders stamps the NDJSON response envelope. source is "live"
+// (broadcast from a running job), "cache" (replay of finished bytes), or
+// "failed" (sealed partial bytes of a dead run).
+func streamHeaders(w http.ResponseWriter, id, source string) {
+	h := w.Header()
+	h.Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	h.Set("X-Qoe-Schema-Version", strconv.Itoa(qoe.SchemaVersion))
+	h.Set("X-Qoe-Run-Id", id)
+	h.Set("X-Qoe-Source", source)
+}
+
+// replayCached writes one finished stream in a single shot.
+func (s *Server) replayCached(w http.ResponseWriter, id string, data []byte) {
+	streamHeaders(w, id, "cache")
+	n, _ := w.Write(data)
+	s.met.bytesStreamed.Add(int64(n))
+}
+
+// streamJob follows the job's broadcast buffer until the run finishes or
+// the client disconnects. The caller must already hold a subscription on j
+// (admit and the stream handler both take it atomically); streamJob
+// releases it. subscribed=false means attach was refused — an abandoned or
+// failed run whose sealed partial bytes are being replayed — and the source
+// header says "failed" rather than "live". A server-side failure simply
+// truncates the stream (no summary line): the NDJSON wire format has no
+// error event, and clients detect the truncation via qoe.DecodeStream's
+// ErrTruncatedStream.
+func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job, subscribed bool) {
+	source := "live"
+	if subscribed {
+		defer j.unsubscribe()
+	} else {
+		source = "failed"
+	}
+	streamHeaders(w, j.id, source)
+	n, _ := j.stream(r.Context(), w)
+	s.met.bytesStreamed.Add(n)
+}
+
+// streamAdmission streams whatever admit routed the request to: cached
+// bytes or a live job (whose subscription the admission already holds).
+func (s *Server) streamAdmission(w http.ResponseWriter, r *http.Request, adm admission) {
+	if adm.cached != nil {
+		s.replayCached(w, adm.id, adm.cached)
+		return
+	}
+	s.streamJob(w, r, adm.j, true)
+}
+
+func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	j, cached, _, ok := s.lookup(id)
+	if !ok {
+		// A completed run whose bytes were evicted is transparently re-run:
+		// the ID is a content address of the spec, and determinism makes
+		// the re-run reproduce the original bytes. Normal admission control
+		// applies (429 when saturated). The re-admission is DURABLE: this
+		// run already earned its done record, so a mid-re-run disconnect
+		// must not abandon it into a failed tombstone — it completes and
+		// restores the record (and cache) instead.
+		rec, found := s.completedRecord(id)
+		if !found {
+			writeJSON(w, http.StatusNotFound, errorBody{Error: "serve: unknown run " + id})
+			return
+		}
+		adm, err := s.admit(rec.spec, false)
+		if err != nil {
+			s.writeAdmitError(w, err)
+			return
+		}
+		s.streamAdmission(w, r, adm)
+		return
+	}
+	if j == nil {
+		s.replayCached(w, id, cached)
+		return
+	}
+	// Attaching by ID is deliberate: if attach is refused, the job is
+	// abandoned or failed — its sealed partial bytes are still served
+	// (subscription bookkeeping is moot on a finished run), which is
+	// exactly what a client chasing a known run ID should see.
+	s.streamJob(w, r, j, j.attach(false))
+}
+
+// handleOneShot is GET /v1/run?experiments=...&scenarios=...&scale=...&seed=...:
+// admission and streaming in one request, the curl-able equivalent of
+// `qoebench -stream`. Jobs created here are ephemeral — if every client
+// streaming them disconnects before the run finishes, the run is cancelled
+// to reclaim its worker.
+func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	seed, err := parseSeed(q.Get("seed"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	spec, err := Canonicalize(splitList(q["experiments"]), splitList(q["scenarios"]), q.Get("scale"), seed)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	adm, err := s.admit(spec, true)
+	if err != nil {
+		s.writeAdmitError(w, err)
+		return
+	}
+	s.streamAdmission(w, r, adm)
+}

@@ -1,0 +1,66 @@
+package serve
+
+import (
+	"expvar"
+	"net/http"
+)
+
+// metrics is the server's counter set, exported as an expvar.Map that is
+// deliberately NOT published to the process-global expvar registry — each
+// Server owns its own map, so tests (and a future multi-tenant binary) can
+// run many servers without name collisions. The /metrics endpoint renders
+// the map as JSON.
+type metrics struct {
+	// Admission outcomes: every run request lands in exactly one of
+	// accepted (fresh job enqueued), deduped (attached to a live job),
+	// cacheHit (replayed finished bytes), or rejected (queue full).
+	runsAccepted expvar.Int
+	runsDeduped  expvar.Int
+	runsCacheHit expvar.Int
+	runsRejected expvar.Int
+
+	// Execution outcomes: started counts worker pickups; completed and
+	// failed partition the finished runs.
+	runsStarted   expvar.Int
+	runsCompleted expvar.Int
+	runsFailed    expvar.Int
+
+	// bytesStreamed counts NDJSON bytes actually delivered to clients,
+	// across live broadcasts and cache replays.
+	bytesStreamed expvar.Int
+
+	vars *expvar.Map
+}
+
+func newMetrics(s *Server) *metrics {
+	m := &metrics{vars: new(expvar.Map).Init()}
+	m.vars.Set("runs_accepted", &m.runsAccepted)
+	m.vars.Set("runs_deduped", &m.runsDeduped)
+	m.vars.Set("runs_cache_hit", &m.runsCacheHit)
+	m.vars.Set("runs_rejected", &m.runsRejected)
+	m.vars.Set("runs_started", &m.runsStarted)
+	m.vars.Set("runs_completed", &m.runsCompleted)
+	m.vars.Set("runs_failed", &m.runsFailed)
+	m.vars.Set("bytes_streamed", &m.bytesStreamed)
+	// Gauges read live server state on scrape.
+	m.vars.Set("queue_depth", expvar.Func(func() any { return len(s.queue) }))
+	m.vars.Set("queue_capacity", expvar.Func(func() any { return cap(s.queue) }))
+	m.vars.Set("live_runs", expvar.Func(func() any {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return len(s.live)
+	}))
+	m.vars.Set("cache_bytes", expvar.Func(func() any { return s.cache.bytes() }))
+	m.vars.Set("cache_entries", expvar.Func(func() any { return s.cache.entries() }))
+	m.vars.Set("cache_evictions", expvar.Func(func() any { return s.cache.evicted() }))
+	m.vars.Set("workers", expvar.Func(func() any { return s.cfg.Workers }))
+	return m
+}
+
+// handleMetrics renders the counter map. expvar.Map.String() is already the
+// canonical JSON rendering, so the endpoint costs nothing new.
+func (m *metrics) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	_, _ = w.Write([]byte(m.vars.String()))
+	_, _ = w.Write([]byte("\n"))
+}

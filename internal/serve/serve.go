@@ -1,0 +1,433 @@
+// Package serve is the study-serving engine behind the qoed daemon: a
+// concurrent HTTP service that exposes the pkg/qoe experiment catalog and
+// streams schema_version 1 NDJSON run output to many clients at once.
+//
+// The engine exploits the reproduction's central invariant — a run is a pure
+// function of its canonical tuple (sorted experiments, scale, seed, schema
+// version), so the same tuple always produces the same bytes — three ways:
+//
+//   - Singleflight dedup: concurrent requests for one tuple collapse onto a
+//     single job. The simulation runs once and streams into an append-only
+//     broadcast buffer; every subscriber replays that buffer from offset
+//     zero, so all of them receive the identical byte stream no matter when
+//     they attached.
+//   - Result cache: finished streams enter a content-addressed, byte-bounded
+//     LRU keyed by the tuple's ID. A repeat request replays the cached bytes
+//     with zero simulation.
+//   - Admission control: a bounded worker pool takes jobs from a bounded
+//     queue; when the queue is full, new work is refused with 429 and a
+//     Retry-After hint instead of being absorbed into unbounded memory.
+//
+// Runs execute with parallelism 1 inside the session, which keeps the whole
+// stream — progress lines included — deterministic and byte-compatible with
+// `qoebench -stream -parallel 1` (pinned by testdata/golden/
+// table1.stream.jsonl); concurrency comes from running distinct tuples on
+// distinct workers. Shutdown drains gracefully: admission stops, queued and
+// in-flight runs finish (or, past the drain deadline, cancel cleanly through
+// the context plumbing), and the result cache stays valid because cancelled
+// runs are never cached.
+package serve
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/pkg/qoe"
+)
+
+// Config sizes a Server. Zero values take defaults.
+type Config struct {
+	// Workers bounds how many simulations run concurrently (default
+	// core.DefaultParallelism — one per core).
+	Workers int
+	// QueueDepth bounds how many accepted-but-not-started jobs may wait
+	// (default 16). A full queue sheds load with 429.
+	QueueDepth int
+	// CacheBytes bounds the result cache's resident size (default 64 MiB).
+	// Zero keeps the default; negative disables caching.
+	CacheBytes int64
+	// RetryAfter is the hint returned with 429 responses (default 2s).
+	RetryAfter time.Duration
+	// Logf, when set, receives one line per run lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = core.DefaultParallelism()
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 16
+	}
+	switch {
+	case c.CacheBytes == 0:
+		c.CacheBytes = 64 << 20
+	case c.CacheBytes < 0:
+		c.CacheBytes = 0
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 2 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// runFunc executes one canonical run, streaming its NDJSON bytes into w. It
+// is a seam for tests (counting invocations, injecting slow or failing runs);
+// production servers use defaultRun.
+type runFunc func(ctx context.Context, spec RunSpec, w io.Writer) error
+
+// defaultRun executes the spec through a fresh qoe.Session. Parallelism is
+// pinned to 1 so the emitted stream is deterministic end to end — the
+// property broadcast and cache replay turn into byte-identical responses.
+func defaultRun(ctx context.Context, spec RunSpec, w io.Writer) error {
+	sess, err := qoe.NewSession(
+		qoe.WithScenarios(spec.Experiments...),
+		qoe.WithScale(spec.Scale),
+		qoe.WithSeed(spec.Seed),
+		qoe.WithParallelism(1),
+	)
+	if err != nil {
+		return err
+	}
+	_, err = sess.Run(ctx, qoe.StreamSink(w))
+	return err
+}
+
+// Server is the serving engine: job table, worker pool, result cache, and
+// the HTTP API over them. Create with New, serve via ServeHTTP (it is an
+// http.Handler), and always Shutdown (or Close) to stop the workers.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	cache *resultCache
+	met   *metrics
+	runFn runFunc
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	live     map[string]*job // canonical ID → in-flight job (singleflight table)
+	queue    chan *job
+	draining bool
+	// failed retains the last failedRetention failed/cancelled jobs as
+	// tombstones so /v1/runs/{id} can report what happened (and the stream
+	// endpoint can serve the partial, summary-less bytes) instead of
+	// answering 404 the instant a run dies. Successful runs need no
+	// tombstone — the result cache is their record.
+	failed      map[string]*job
+	failedOrder []*job
+	// done is the bounded index of successfully completed runs: ID → spec
+	// and byte count, no data. It is what keeps a finished run addressable
+	// after its bytes leave the cache (LRU eviction, oversized stream, or
+	// caching disabled): status stays reportable, and the stream endpoint
+	// can transparently re-admit the spec — determinism guarantees the
+	// re-run reproduces the original bytes.
+	done      map[string]doneRecord
+	doneOrder []doneOrderEntry
+	doneSeq   uint64
+
+	workers sync.WaitGroup
+}
+
+// failedRetention bounds the failed-job tombstone table.
+const failedRetention = 128
+
+// doneRetention bounds the completed-run index (records are ~100 bytes).
+const doneRetention = 4096
+
+// doneRecord is one completed-run index entry. seq ties the record to its
+// doneOrder entry, so eviction never removes a record that was refreshed
+// after its original order entry was queued.
+type doneRecord struct {
+	spec  RunSpec
+	key   string
+	bytes int
+	seq   uint64
+}
+
+// doneOrderEntry is one FIFO slot of the completed-run index.
+type doneOrderEntry struct {
+	id  string
+	seq uint64
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:    cfg,
+		cache:  newResultCache(cfg.CacheBytes),
+		live:   map[string]*job{},
+		failed: map[string]*job{},
+		done:   map[string]doneRecord{},
+		queue:  make(chan *job, cfg.QueueDepth),
+		runFn:  defaultRun,
+	}
+	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
+	s.met = newMetrics(s)
+	s.mux = s.routes()
+	for i := 0; i < cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// ServeHTTP dispatches to the API routes.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// admission is the outcome of routing one request through the singleflight
+// table and the result cache. When j is non-nil the request already HOLDS
+// one subscription on it (taken atomically inside admit), and the handler
+// must release it with j.unsubscribe() exactly once.
+type admission struct {
+	j       *job   // non-nil: attached to this live job (one subscription held)
+	cached  []byte // non-nil: replay these finished bytes
+	key     string // canonical tuple (always set)
+	id      string // canonical ID (always set)
+	created bool   // this request created (and enqueued) the job
+}
+
+// errQueueFull is returned by admit when the job queue cannot take another
+// run; the HTTP layer turns it into 429 + Retry-After.
+var errQueueFull = errors.New("serve: run queue is full")
+
+// errDraining is returned once Shutdown has begun; the HTTP layer turns it
+// into 503.
+var errDraining = errors.New("serve: server is draining")
+
+// admit routes one canonical spec: dedup onto a live job, hit the result
+// cache, or create and enqueue a fresh job — refusing with errQueueFull
+// when the queue is saturated. ephemeral marks requests whose run should
+// cancel when their last subscriber disconnects (one-shot GET streams); a
+// durable request deduplicated onto an ephemeral job promotes it. On
+// success with a live job, the request already holds one subscription
+// (attach happens atomically with admission, so a concurrent
+// last-subscriber disconnect can never cancel a job between the two).
+func (s *Server) admit(spec RunSpec, ephemeral bool) (admission, error) {
+	id := spec.ID()
+	key := spec.Key()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return admission{}, errDraining
+	}
+	if j, ok := s.live[id]; ok && j.attach(!ephemeral) {
+		s.met.runsDeduped.Add(1)
+		return admission{j: j, key: key, id: id}, nil
+	}
+	// Either no live job, or attach refused it: the job was abandoned (its
+	// last one-shot client disconnected and cancelled it) or already failed,
+	// and is still unwinding. Don't glue new clients to a doomed run — fall
+	// through to the cache and, on miss, start a fresh job. The doomed job's
+	// runJob only retires its own table entry (identity-checked), so
+	// overwriting live[id] is safe.
+	if data, _, ok := s.cache.get(id); ok {
+		s.met.runsCacheHit.Add(1)
+		return admission{cached: data, key: key, id: id}, nil
+	}
+	runCtx, cancel := context.WithCancel(s.baseCtx)
+	j := newJob(spec, runCtx, cancel, ephemeral)
+	select {
+	case s.queue <- j:
+	default:
+		cancel()
+		s.met.runsRejected.Add(1)
+		return admission{}, errQueueFull
+	}
+	s.live[id] = j
+	// A fresh attempt supersedes any prior FAILURE of this tuple, so a stale
+	// tombstone can never shadow its outcome. A recorded success, though, is
+	// kept: determinism means the tuple's completed bytes stay reproducible,
+	// so if this attempt dies (abandoned one-shot, drain cancellation) the
+	// prior success still stands — a disconnect must never demote a
+	// done/evicted run to failed. runJob enforces the matching half: a failed
+	// attempt of a tuple with a done record plants no tombstone.
+	delete(s.failed, id)
+	s.met.runsAccepted.Add(1)
+	s.cfg.Logf("serve: accepted run %s (%s)", id, key)
+	return admission{j: j, key: key, id: id, created: true}, nil
+}
+
+// lookup finds an existing run by ID: the live job, the cached bytes, or a
+// failed-run tombstone (in that order — a fresh success must shadow an old
+// failure).
+func (s *Server) lookup(id string) (*job, []byte, string, bool) {
+	s.mu.Lock()
+	j, ok := s.live[id]
+	s.mu.Unlock()
+	if ok {
+		return j, nil, j.key, true
+	}
+	if data, key, ok := s.cache.get(id); ok {
+		return nil, data, key, true
+	}
+	s.mu.Lock()
+	j, ok = s.failed[id]
+	s.mu.Unlock()
+	if ok {
+		return j, nil, j.key, true
+	}
+	return nil, nil, "", false
+}
+
+// worker consumes jobs until the queue closes at drain.
+func (s *Server) worker() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		s.runJob(j)
+	}
+}
+
+// runJob executes one job, seals its buffer, retires it from the
+// singleflight table, and — for clean completions only — moves the bytes
+// into the result cache. Failed or cancelled runs are never cached, so the
+// cache holds nothing but complete, summary-terminated streams.
+func (s *Server) runJob(j *job) {
+	s.met.runsStarted.Add(1)
+	j.start()
+	err := s.runFn(j.runCtx, j.spec, j)
+	buf := j.finish(err)
+
+	if err == nil {
+		// Publish to the cache BEFORE retiring the live entry, so an
+		// identical request arriving in between finds one of the two — the
+		// tuple is never simulated twice. j.cancel() waits until the very
+		// end for the same reason: admit must never observe a successful
+		// job in a visibly-cancelled intermediate state.
+		s.met.runsCompleted.Add(1)
+		s.cache.add(j.id, j.key, buf)
+	} else {
+		s.met.runsFailed.Add(1)
+	}
+	s.mu.Lock()
+	// Identity check: an abandoned-then-retried tuple may have a fresh job
+	// under the same ID by now. Only the CURRENT attempt retires its table
+	// entry and records an outcome — a superseded job finishing late must
+	// not plant a stale tombstone (or done record) that would shadow the
+	// newer attempt's result. Its bytes are still fine to cache above:
+	// determinism makes them valid for the tuple regardless of attempt.
+	if s.live[j.id] == j {
+		delete(s.live, j.id)
+		if err == nil {
+			s.rememberDoneLocked(j, len(buf))
+		} else if _, succeeded := s.done[j.id]; !succeeded {
+			// Tombstone only tuples that have never completed: a failure
+			// after a recorded success (an abandoned one-shot re-run, a drain
+			// cancellation) leaves the success authoritative — status keeps
+			// reporting done/evicted, and the stream endpoint re-runs the
+			// tuple instead of serving the failure's partial bytes.
+			s.rememberFailedLocked(j)
+		}
+	}
+	s.mu.Unlock()
+	j.cancel() // release the run context's resources
+	if err != nil {
+		s.cfg.Logf("serve: run %s failed: %v", j.id, err)
+		return
+	}
+	s.cfg.Logf("serve: run %s done (%d bytes)", j.id, len(buf))
+}
+
+// rememberFailedLocked tombstones a failed job (caller holds s.mu) and
+// evicts the oldest tombstones past the retention bound. The tombstone is a
+// memory-bounded copy (error + at most tombstoneBufCap of the partial
+// stream), so the table's worst case is a few MiB — the failed run's full
+// buffer is not pinned the way the byte-bounded success cache guards
+// against.
+func (s *Server) rememberFailedLocked(j *job) {
+	t := j.tombstone()
+	s.failed[t.id] = t
+	s.failedOrder = append(s.failedOrder, t)
+	for len(s.failedOrder) > failedRetention {
+		old := s.failedOrder[0]
+		s.failedOrder = s.failedOrder[1:]
+		// Delete only if the tombstone for that ID is still this job — a
+		// re-failed tuple's newer tombstone must survive the old one's
+		// eviction.
+		if s.failed[old.id] == old {
+			delete(s.failed, old.id)
+		}
+	}
+}
+
+// rememberDoneLocked indexes a completed run (caller holds s.mu), evicting
+// the oldest records past the retention bound. A tuple that re-completes
+// (cache disabled, or post-eviction re-streams) refreshes its existing
+// record in place — no duplicate order entries, so one hot tuple can never
+// flood the FIFO and evict other tuples' records — and the seq tag makes
+// eviction exact: only a record still owned by the popped order entry is
+// deleted.
+func (s *Server) rememberDoneLocked(j *job, bytes int) {
+	s.doneSeq++
+	if old, ok := s.done[j.id]; ok {
+		// Refresh in place; the existing order entry (tagged old.seq) keeps
+		// representing this ID, so keep that seq.
+		s.done[j.id] = doneRecord{spec: j.spec, key: j.key, bytes: bytes, seq: old.seq}
+		return
+	}
+	s.done[j.id] = doneRecord{spec: j.spec, key: j.key, bytes: bytes, seq: s.doneSeq}
+	s.doneOrder = append(s.doneOrder, doneOrderEntry{id: j.id, seq: s.doneSeq})
+	for len(s.doneOrder) > doneRetention {
+		old := s.doneOrder[0]
+		s.doneOrder = s.doneOrder[1:]
+		if rec, ok := s.done[old.id]; ok && rec.seq == old.seq {
+			delete(s.done, old.id)
+		}
+	}
+}
+
+// completedRecord looks up the completed-run index.
+func (s *Server) completedRecord(id string) (doneRecord, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	rec, ok := s.done[id]
+	return rec, ok
+}
+
+// Shutdown drains the server: admission stops immediately (new runs get
+// 503), queued and in-flight runs are given until ctx expires to finish,
+// and past the deadline every remaining run is cancelled through its
+// context and awaited. The result cache is left intact and reusable —
+// cancelled runs never enter it. Shutdown is idempotent; it returns
+// ctx.Err() if the deadline forced cancellation, nil on a clean drain.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-ctx.Done():
+		s.baseCancel() // abort in-flight runs; they unwind via ctx plumbing
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close shuts down without a grace period: in-flight runs are cancelled at
+// once. Intended for tests and fatal exits.
+func (s *Server) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_ = s.Shutdown(ctx)
+}

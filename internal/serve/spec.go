@@ -1,0 +1,99 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/pkg/qoe"
+)
+
+// RunSpec is the canonicalized identity of one deterministic run: the tuple
+// the engine guarantees maps to exactly one byte stream. Build one with
+// Canonicalize; a hand-built RunSpec has no canonicality guarantee and must
+// not be used as a dedup key.
+type RunSpec struct {
+	// Experiments is the resolved selection, sorted and deduplicated.
+	// Sorting is what makes set-equal requests ("table1,table2" vs
+	// "table2,table1") collapse onto one job: canonical runs execute in
+	// sorted order, and that order is part of the spec's identity.
+	Experiments []string
+	Scale       qoe.Scale
+	Seed        int64
+}
+
+// Canonicalize resolves a raw selection into the canonical RunSpec the job
+// table and result cache key on. experiments and scenarios are synonyms —
+// the SDK's selection option is named WithScenarios, the paper calls the
+// selected units experiments — and their union is resolved through the
+// registry ("all" expands, unknown names fail with a did-you-mean
+// suggestion), then sorted and deduplicated.
+func Canonicalize(experiments, scenarios []string, scale string, seed int64) (RunSpec, error) {
+	sel := append(append([]string(nil), experiments...), scenarios...)
+	resolved, err := qoe.ResolveExperiments(sel...)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	sort.Strings(resolved)
+	uniq := resolved[:0]
+	for i, name := range resolved {
+		if i == 0 || name != resolved[i-1] {
+			uniq = append(uniq, name)
+		}
+	}
+	sc := qoe.ScaleQuick
+	if scale != "" {
+		if sc, err = qoe.ParseScale(scale); err != nil {
+			return RunSpec{}, err
+		}
+	}
+	return RunSpec{Experiments: uniq, Scale: sc, Seed: seed}, nil
+}
+
+// Key is the human-readable canonical tuple. Two requests collapse onto one
+// job (and one cache entry) exactly when their Keys are equal. The schema
+// version leads the key so a wire-format bump can never replay bytes
+// recorded under the old encoding.
+func (s RunSpec) Key() string {
+	return fmt.Sprintf("v%d|scale=%s|seed=%d|experiments=%s",
+		qoe.SchemaVersion, s.Scale, s.Seed, strings.Join(s.Experiments, ","))
+}
+
+// ID is the content address derived from Key: 128 bits of its SHA-256, hex
+// encoded. It names the run in URLs (/v1/runs/{id}) and addresses the result
+// cache, so identical tuples always map to the same ID — across requests,
+// restarts, and replicas.
+func (s RunSpec) ID() string {
+	sum := sha256.Sum256([]byte(s.Key()))
+	return hex.EncodeToString(sum[:16])
+}
+
+// parseSeed parses a seed query/body value, defaulting empty to 1 so the
+// default tuple matches `qoebench -seed 1`.
+func parseSeed(raw string) (int64, error) {
+	if raw == "" {
+		return 1, nil
+	}
+	seed, err := strconv.ParseInt(raw, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("serve: bad seed %q: %w", raw, err)
+	}
+	return seed, nil
+}
+
+// splitList splits repeated and comma-separated selection values:
+// ?experiments=a,b&experiments=c yields [a b c]. Empty elements vanish.
+func splitList(values []string) []string {
+	var out []string
+	for _, v := range values {
+		for _, part := range strings.Split(v, ",") {
+			if part = strings.TrimSpace(part); part != "" {
+				out = append(out, part)
+			}
+		}
+	}
+	return out
+}

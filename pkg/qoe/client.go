@@ -1,0 +1,280 @@
+package qoe
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Client drives a qoed study-serving daemon over its v1 HTTP API. The zero
+// value is not usable; construct with NewClient. Methods decode the server's
+// NDJSON streams through DecodeStream, so a remote run feeds the same Sink
+// implementations a local Session.Run would — switching a study from
+// in-process to served is a one-line change.
+type Client struct {
+	baseURL string
+	httpc   *http.Client
+}
+
+// NewClient returns a Client for the daemon at baseURL (e.g.
+// "http://127.0.0.1:8080"). A nil httpc uses http.DefaultClient; streaming
+// callers should pass a client without a global timeout, since a streamed
+// run legitimately lasts as long as the simulation.
+func NewClient(baseURL string, httpc *http.Client) *Client {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	return &Client{baseURL: strings.TrimRight(baseURL, "/"), httpc: httpc}
+}
+
+// RunRequest names a run tuple for the remote API. The zero value means
+// "all experiments, quick scale, seed 0" — Seed is transmitted verbatim, so
+// every seed a local Session accepts (including 0) is reachable remotely.
+// Note qoe.NewSession's DEFAULT seed is 1: pass Seed: 1 to match a
+// default-configured local session. The server canonicalizes (resolves,
+// sorts, deduplicates) the selection, so set-equal requests land on the
+// same server-side run.
+type RunRequest struct {
+	Experiments []string
+	Scale       Scale
+	Seed        int64
+}
+
+func (r RunRequest) query() url.Values {
+	q := url.Values{}
+	if len(r.Experiments) > 0 {
+		q.Set("experiments", strings.Join(r.Experiments, ","))
+	}
+	if r.Scale != "" {
+		q.Set("scale", string(r.Scale))
+	}
+	q.Set("seed", strconv.FormatInt(r.Seed, 10))
+	return q
+}
+
+// RetryableError reports a request the server refused under load (HTTP 429)
+// or while draining (HTTP 503); RetryAfter carries the server's hint.
+type RetryableError struct {
+	StatusCode int
+	RetryAfter time.Duration
+	Message    string
+}
+
+func (e *RetryableError) Error() string {
+	return fmt.Sprintf("qoe: server refused run (HTTP %d, retry after %v): %s", e.StatusCode, e.RetryAfter, e.Message)
+}
+
+// apiError decodes the server's uniform error envelope into a Go error.
+func apiError(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var envelope struct {
+		Error string `json:"error"`
+	}
+	msg := strings.TrimSpace(string(body))
+	if json.Unmarshal(body, &envelope) == nil && envelope.Error != "" {
+		msg = envelope.Error
+	}
+	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		retry := 2 * time.Second
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs > 0 {
+			retry = time.Duration(secs) * time.Second
+		}
+		return &RetryableError{StatusCode: resp.StatusCode, RetryAfter: retry, Message: msg}
+	}
+	return fmt.Errorf("qoe: server returned HTTP %d: %s", resp.StatusCode, msg)
+}
+
+func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		defer resp.Body.Close()
+		return nil, apiError(resp)
+	}
+	return resp, nil
+}
+
+// Run executes one remote run and streams its events into sink: the
+// distributed analogue of Session.Run. The server deduplicates concurrent
+// identical tuples onto one simulation and replays finished tuples from its
+// result cache; either way the bytes this client decodes are identical to a
+// fresh local run. Run returns the stream's summary, ErrTruncatedStream if
+// the run was cancelled or failed server-side, a *RetryableError when the
+// server sheds load, or ctx's error on cancellation.
+func (c *Client) Run(ctx context.Context, req RunRequest, sink Sink) (SummaryEvent, error) {
+	if sink == nil {
+		sink = discardSink{}
+	}
+	resp, err := c.get(ctx, "/v1/run?"+req.query().Encode())
+	if err != nil {
+		return SummaryEvent{}, err
+	}
+	defer resp.Body.Close()
+	summary, err := DecodeStream(resp.Body, sink)
+	if err != nil && ctx.Err() != nil {
+		// A mid-stream disconnect caused by our own cancellation reads as
+		// truncation; report the caller's cancellation instead.
+		return summary, ctx.Err()
+	}
+	return summary, err
+}
+
+// RunBytes executes one remote run and returns the raw NDJSON stream bytes,
+// failing with ErrTruncatedStream if the stream lacks its closing summary.
+func (c *Client) RunBytes(ctx context.Context, req RunRequest) ([]byte, error) {
+	var buf bytes.Buffer
+	if _, err := c.Run(ctx, req, StreamSink(&buf)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// RunStatus describes a run known to the server. The server marshals this
+// exact type in its responses, so the two ends of the v1 API cannot drift.
+// Source "evicted" marks a completed run whose bytes left the result cache;
+// its status endpoint still answers, and streaming it transparently re-runs
+// the tuple (determinism reproduces the original bytes).
+type RunStatus struct {
+	SchemaVersion int    `json:"schema_version"`
+	ID            string `json:"id"`
+	Key           string `json:"key"`
+	Status        string `json:"status"` // queued | running | done | cached
+	Source        string `json:"source"` // accepted | deduped | cached | live | evicted | failed
+	StreamURL     string `json:"stream_url"`
+	Bytes         int    `json:"bytes"`
+	Error         string `json:"error,omitempty"`
+}
+
+// StartRun submits a durable run (POST /v1/runs) without streaming it: the
+// run executes (or is deduplicated / served from cache) regardless of any
+// client staying connected. Stream the result later via StreamRun with the
+// returned ID. A *RetryableError reports queue saturation.
+func (c *Client) StartRun(ctx context.Context, req RunRequest) (RunStatus, error) {
+	body, err := json.Marshal(map[string]any{
+		"experiments": req.Experiments,
+		"scale":       string(req.Scale),
+		"seed":        req.Seed,
+	})
+	if err != nil {
+		return RunStatus{}, err
+	}
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.baseURL+"/v1/runs", bytes.NewReader(body))
+	if err != nil {
+		return RunStatus{}, err
+	}
+	httpReq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpc.Do(httpReq)
+	if err != nil {
+		return RunStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return RunStatus{}, apiError(resp)
+	}
+	var status RunStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return RunStatus{}, fmt.Errorf("qoe: decoding run status: %w", err)
+	}
+	return status, nil
+}
+
+// Status fetches the state of a previously started run by ID.
+func (c *Client) Status(ctx context.Context, id string) (RunStatus, error) {
+	resp, err := c.get(ctx, "/v1/runs/"+url.PathEscape(id))
+	if err != nil {
+		return RunStatus{}, err
+	}
+	defer resp.Body.Close()
+	var status RunStatus
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return RunStatus{}, fmt.Errorf("qoe: decoding run status: %w", err)
+	}
+	return status, nil
+}
+
+// StreamRun attaches to a run by ID and streams its events into sink,
+// blocking until the run completes (live broadcast) or replaying instantly
+// (cache). The decoded bytes are identical either way.
+func (c *Client) StreamRun(ctx context.Context, id string, sink Sink) (SummaryEvent, error) {
+	if sink == nil {
+		sink = discardSink{}
+	}
+	resp, err := c.get(ctx, "/v1/runs/"+url.PathEscape(id)+"/stream")
+	if err != nil {
+		return SummaryEvent{}, err
+	}
+	defer resp.Body.Close()
+	summary, err := DecodeStream(resp.Body, sink)
+	if err != nil && ctx.Err() != nil {
+		return summary, ctx.Err()
+	}
+	return summary, err
+}
+
+// Catalog is the daemon's advertised surface: runnable experiments, the
+// emulated network operating points and scenario library, and the testbed
+// scales.
+type Catalog struct {
+	SchemaVersion int              `json:"schema_version"`
+	Experiments   []CatalogEntry   `json:"experiments"`
+	Networks      []CatalogNetwork `json:"networks"`
+	Scenarios     []CatalogNetwork `json:"scenarios"`
+	Scales        []string         `json:"scales"`
+}
+
+// CatalogEntry describes one runnable experiment.
+type CatalogEntry struct {
+	Name      string `json:"name"`
+	Networks  int    `json:"networks"`
+	Protocols int    `json:"protocols"`
+}
+
+// CatalogNetwork describes one emulated network operating point.
+type CatalogNetwork struct {
+	Name        string  `json:"name"`
+	UplinkBps   int64   `json:"uplink_bps"`
+	DownlinkBps int64   `json:"downlink_bps"`
+	MinRTTMs    float64 `json:"min_rtt_ms"`
+	LossRate    float64 `json:"loss_rate"`
+	Description string  `json:"description,omitempty"`
+}
+
+// Catalog fetches the daemon's catalog.
+func (c *Client) Catalog(ctx context.Context) (Catalog, error) {
+	resp, err := c.get(ctx, "/v1/catalog")
+	if err != nil {
+		return Catalog{}, err
+	}
+	defer resp.Body.Close()
+	var cat Catalog
+	if err := json.NewDecoder(resp.Body).Decode(&cat); err != nil {
+		return Catalog{}, fmt.Errorf("qoe: decoding catalog: %w", err)
+	}
+	if cat.SchemaVersion != SchemaVersion {
+		return Catalog{}, fmt.Errorf("qoe: server speaks schema_version %d, this client %d", cat.SchemaVersion, SchemaVersion)
+	}
+	return cat, nil
+}
+
+// Healthy reports whether the daemon answers /healthz with 200.
+func (c *Client) Healthy(ctx context.Context) bool {
+	resp, err := c.get(ctx, "/healthz")
+	if err != nil {
+		return false
+	}
+	resp.Body.Close()
+	return true
+}

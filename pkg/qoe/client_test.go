@@ -1,0 +1,189 @@
+package qoe_test
+
+// Client ↔ server integration: qoe.Client against a real internal/serve
+// engine (the same wiring cmd/qoed deploys), plus wire-level error handling
+// against stub handlers. Lives in the external test package so the round
+// trip crosses the same package boundary real consumers do.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/serve"
+	"repro/pkg/qoe"
+)
+
+// newServedClient boots the serving engine and returns a client for it.
+func newServedClient(t *testing.T) *qoe.Client {
+	t.Helper()
+	s := serve.New(serve.Config{Workers: 2})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	return qoe.NewClient(ts.URL, nil)
+}
+
+func TestClientCatalog(t *testing.T) {
+	c := newServedClient(t)
+	cat, err := c.Catalog(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cat.SchemaVersion != qoe.SchemaVersion {
+		t.Fatalf("catalog schema %d", cat.SchemaVersion)
+	}
+	if len(cat.Experiments) != len(qoe.ExperimentNames()) || len(cat.Scales) != 3 {
+		t.Fatalf("catalog incomplete: %d experiments, %v scales", len(cat.Experiments), cat.Scales)
+	}
+	if !c.Healthy(context.Background()) {
+		t.Fatal("served daemon reports unhealthy")
+	}
+}
+
+// TestClientRunMatchesLocalSession: the remote hot path end to end — a
+// client Run's raw bytes equal the pinned golden and a local Session's
+// stream, cold (live broadcast) and warm (cache replay) alike; and the
+// decoded summary matches the local run's.
+func TestClientRunMatchesLocalSession(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs sessions")
+	}
+	c := newServedClient(t)
+	req := qoe.RunRequest{Experiments: []string{"table1"}, Scale: qoe.ScaleQuick, Seed: 1}
+
+	golden, err := os.ReadFile("../../testdata/golden/table1.stream.jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := c.RunBytes(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(cold, golden) {
+		t.Fatalf("remote run differs from golden (%d vs %d bytes)", len(cold), len(golden))
+	}
+	warm, err := c.RunBytes(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(warm, golden) {
+		t.Fatal("cached remote run differs from golden")
+	}
+
+	// The local reference must deliver rows to a real sink: a discard sink
+	// is rowless, and SummaryEvent.Rows counts rows actually delivered.
+	sess, err := qoe.NewSession(qoe.WithScenarios("table1"), qoe.WithSeed(1), qoe.WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var localBuf bytes.Buffer
+	local, err := sess.Run(context.Background(), qoe.StreamSink(&localBuf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := c.Run(context.Background(), req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote != local.SummaryEvent {
+		t.Fatalf("remote summary %+v != local %+v", remote, local.SummaryEvent)
+	}
+}
+
+// TestClientStartStreamLifecycle: the durable flow through the client —
+// StartRun, Status until done, StreamRun delivering the full stream.
+func TestClientStartStreamLifecycle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a session")
+	}
+	c := newServedClient(t)
+	ctx := context.Background()
+	status, err := c.StartRun(ctx, qoe.RunRequest{Experiments: []string{"table2"}, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status.ID == "" || status.Source == "" {
+		t.Fatalf("start status %+v", status)
+	}
+	var buf bytes.Buffer
+	summary, err := c.StreamRun(ctx, status.ID, qoe.StreamSink(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Experiments != 1 || buf.Len() == 0 {
+		t.Fatalf("streamed summary %+v, %d bytes", summary, buf.Len())
+	}
+	final, err := c.Status(ctx, status.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != "cached" {
+		t.Fatalf("final status %q, want cached", final.Status)
+	}
+}
+
+// TestClientRetryableError: 429 and 503 responses surface as
+// *RetryableError with the server's Retry-After hint; other failures do not.
+func TestClientRetryableError(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "7")
+		w.WriteHeader(http.StatusTooManyRequests)
+		w.Write([]byte(`{"error":"serve: run queue is full","retry_after_seconds":7}`))
+	}))
+	defer stub.Close()
+	c := qoe.NewClient(stub.URL, nil)
+	_, err := c.Run(context.Background(), qoe.RunRequest{}, nil)
+	var re *qoe.RetryableError
+	if !errors.As(err, &re) {
+		t.Fatalf("Run = %v, want *RetryableError", err)
+	}
+	if re.RetryAfter != 7*time.Second || re.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("retryable = %+v", re)
+	}
+
+	notFound := httptest.NewServer(http.NotFoundHandler())
+	defer notFound.Close()
+	if _, err := qoe.NewClient(notFound.URL, nil).Catalog(context.Background()); err == nil || errors.As(err, &re) {
+		t.Fatalf("404 catalog = %v, want plain error", err)
+	}
+}
+
+// TestClientSeedVerbatim: the client transmits Seed exactly as given —
+// seed 0 included — so every tuple a local Session can run is reachable
+// remotely.
+func TestClientSeedVerbatim(t *testing.T) {
+	var gotSeed string
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		gotSeed = r.URL.Query().Get("seed")
+		w.Write([]byte(`{"schema_version":1,"type":"summary","experiments":0,"rows":0,"conditions":0,"cache_records":0,"cache_hits":0}` + "\n"))
+	}))
+	defer stub.Close()
+	c := qoe.NewClient(stub.URL, nil)
+	if _, err := c.Run(context.Background(), qoe.RunRequest{Experiments: []string{"table1"}, Seed: 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if gotSeed != "0" {
+		t.Fatalf("seed transmitted as %q, want verbatim 0", gotSeed)
+	}
+}
+
+// TestClientTruncatedRun: a server that dies mid-stream yields
+// ErrTruncatedStream, not a silent partial success.
+func TestClientTruncatedRun(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(`{"schema_version":1,"type":"progress","stage":"experiment","completed":0,"total":1}` + "\n"))
+		// ...and no summary: the connection just ends.
+	}))
+	defer stub.Close()
+	c := qoe.NewClient(stub.URL, nil)
+	if _, err := c.Run(context.Background(), qoe.RunRequest{}, nil); !errors.Is(err, qoe.ErrTruncatedStream) {
+		t.Fatalf("truncated run = %v, want ErrTruncatedStream", err)
+	}
+}

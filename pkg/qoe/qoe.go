@@ -29,6 +29,7 @@
 package qoe
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/core"
@@ -64,6 +65,28 @@ type ExperimentInfo struct {
 // (paper-artifact) order. The pseudo-name "all" selects all of them in
 // WithScenarios.
 func ExperimentNames() []string { return experiments.Names() }
+
+// ResolveExperiments expands and validates an experiment selection exactly
+// as WithScenarios would: the pseudo-name "all" (and an empty selection)
+// expands to the full canonical suite, unknown names fail with the
+// registry's did-you-mean suggestion, and the returned names are in the
+// order a Session built from them would run. Callers that need one
+// canonical identity for a selection — the serving daemon's job keys — can
+// resolve first, then normalize the resolved names.
+func ResolveExperiments(names ...string) ([]string, error) {
+	if len(names) == 0 {
+		names = []string{"all"}
+	}
+	exps, err := experiments.Select(names...)
+	if err != nil {
+		return nil, fmt.Errorf("qoe: %w", err)
+	}
+	out := make([]string, len(exps))
+	for i, e := range exps {
+		out[i] = e.Name()
+	}
+	return out, nil
+}
 
 // Experiments describes every registered experiment in canonical order.
 func Experiments() []ExperimentInfo {

@@ -1,0 +1,48 @@
+// Package qoed is the public face of the study-serving daemon engine: the
+// HTTP service that exposes the pkg/qoe experiment catalog over a versioned
+// API and streams schema_version 1 NDJSON run output to many concurrent
+// clients, with singleflight dedup, a content-addressed result cache, and
+// bounded-queue admission control (429 + Retry-After under saturation).
+//
+// The implementation lives in internal/serve; this package re-exports the
+// construction surface so commands and examples — which, per the repository's
+// surface guard, consume the system exclusively through pkg/qoe/... — can
+// embed the daemon:
+//
+//	srv := qoed.New(qoed.Config{Workers: 4, QueueDepth: 32})
+//	defer srv.Close()
+//	http.ListenAndServe(":8080", srv) // srv is an http.Handler
+//
+// Endpoints: GET /healthz, GET /metrics, GET /v1/catalog, POST /v1/runs,
+// GET /v1/runs/{id}, GET /v1/runs/{id}/stream, and the one-shot
+// GET /v1/run?experiments=...&scale=...&seed=... whose response is
+// byte-compatible with `qoebench -stream -parallel 1` for the same tuple.
+// See EXPERIMENTS.md ("Serving studies with qoed") for the API walkthrough
+// and backpressure semantics.
+package qoed
+
+import "repro/internal/serve"
+
+// Config sizes a Server: worker pool, admission queue, result-cache byte
+// budget, Retry-After hint, and an optional log function. Zero values take
+// the serve package's defaults.
+type Config = serve.Config
+
+// Server is the serving engine — an http.Handler owning the job table,
+// worker pool, and result cache. Always Shutdown (or Close) it so the
+// workers stop.
+type Server = serve.Server
+
+// RunSpec is the canonical identity of one deterministic run; build it with
+// Canonicalize when constructing requests programmatically.
+type RunSpec = serve.RunSpec
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server { return serve.New(cfg) }
+
+// Canonicalize resolves a raw selection (experiments/scenarios synonyms,
+// scale name, seed) into the canonical RunSpec the server dedups and caches
+// on — useful for computing the ID/Key a request will land under.
+func Canonicalize(experiments, scenarios []string, scale string, seed int64) (RunSpec, error) {
+	return serve.Canonicalize(experiments, scenarios, scale, seed)
+}

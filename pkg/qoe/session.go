@@ -24,6 +24,11 @@ const (
 	ScalePaper Scale = "paper"
 )
 
+// ScaleNames lists the scale names ParseScale accepts, smallest first.
+func ScaleNames() []string {
+	return []string{string(ScaleQuick), string(ScaleStandard), string(ScalePaper)}
+}
+
 // ParseScale resolves a scale name.
 func ParseScale(name string) (Scale, error) {
 	switch Scale(name) {

@@ -188,18 +188,106 @@ func TestSessionRunCanceledMidBatch(t *testing.T) {
 	}
 }
 
-// errSink fails on the first row; the run must stop and surface the error.
-type errSink struct{ collectSink }
+// failingSink errors from one chosen method (after an optional number of
+// successful calls) and records every call that reaches it afterwards — the
+// disconnecting-HTTP-client stand-in for the sink-error contract tests.
+type failingSink struct {
+	collectSink
+	failOn     string // "row", "progress" or "summary"
+	okCalls    int    // calls of the failing method that succeed first
+	err        error
+	callsAfter int // any sink calls delivered after the error fired
+	fired      bool
+}
 
-func (s *errSink) Row(RowEvent) error { return errors.New("sink full") }
+func (s *failingSink) tick(method string) error {
+	if s.fired {
+		s.callsAfter++
+		return nil
+	}
+	if method == s.failOn {
+		if s.okCalls > 0 {
+			s.okCalls--
+			return nil
+		}
+		s.fired = true
+		return s.err
+	}
+	return nil
+}
 
-// TestSinkErrorAbortsRun: a failing sink cancels the run and its error is
-// what Run returns.
+func (s *failingSink) Row(ev RowEvent) error {
+	if err := s.tick("row"); err != nil {
+		return err
+	}
+	return s.collectSink.Row(ev)
+}
+
+func (s *failingSink) Progress(ev ProgressEvent) error {
+	if err := s.tick("progress"); err != nil {
+		return err
+	}
+	return s.collectSink.Progress(ev)
+}
+
+func (s *failingSink) Summary(ev SummaryEvent) error {
+	if err := s.tick("summary"); err != nil {
+		return err
+	}
+	return s.collectSink.Summary(ev)
+}
+
+// TestSinkErrorAbortsRun: an error from any Sink method — Row, Progress, or
+// Summary — aborts the run, is returned from Run by identity (errors.Is),
+// and silences the sink: no further events are delivered after the failing
+// call. This is the contract the HTTP server relies on when a streaming
+// client disconnects mid-run.
 func TestSinkErrorAbortsRun(t *testing.T) {
+	for _, failOn := range []string{"row", "progress", "summary"} {
+		t.Run(failOn, func(t *testing.T) {
+			sinkErr := errors.New("client went away: " + failOn)
+			sink := &failingSink{failOn: failOn, err: sinkErr}
+			sess := newTestSession(t, 6, 1)
+			_, err := sess.Run(context.Background(), sink)
+			if !errors.Is(err, sinkErr) {
+				t.Fatalf("Run returned %v, want the sink error %v", err, sinkErr)
+			}
+			if !sink.fired {
+				t.Fatal("sink never failed — test exercised nothing")
+			}
+			if sink.callsAfter != 0 {
+				t.Fatalf("%d sink calls delivered after the error — a failed sink must go silent", sink.callsAfter)
+			}
+		})
+	}
+}
+
+// TestSinkErrorSkipsRemainingExperiments: a Row error during the first
+// experiment cancels the batch, so later experiments are never delivered —
+// their results (and rows) stay off the sink entirely rather than running to
+// completion against a dead consumer.
+func TestSinkErrorSkipsRemainingExperiments(t *testing.T) {
+	sinkErr := errors.New("sink full")
+	// Let the first experiment's first row through, then fail on the second:
+	// the abort happens mid-stream, not at a tidy boundary.
+	sink := &failingSink{failOn: "row", okCalls: 1, err: sinkErr}
 	sess := newTestSession(t, 6, 1)
-	_, err := sess.Run(context.Background(), &errSink{})
-	if err == nil || !strings.Contains(err.Error(), "sink full") {
+	_, err := sess.Run(context.Background(), sink)
+	if !errors.Is(err, sinkErr) {
 		t.Fatalf("Run returned %v, want the sink error", err)
+	}
+	for _, r := range sink.results {
+		if r.Experiment != sessionScenarios[0] {
+			t.Fatalf("result for %s delivered after the sink failed", r.Experiment)
+		}
+	}
+	for _, r := range sink.rows {
+		if r.Experiment != sessionScenarios[0] {
+			t.Fatalf("row for %s delivered after the sink failed", r.Experiment)
+		}
+	}
+	if len(sink.summaries) != 0 {
+		t.Fatal("summary delivered to a failed sink")
 	}
 }
 

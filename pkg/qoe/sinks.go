@@ -2,10 +2,17 @@ package qoe
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
 )
+
+// ErrTruncatedStream reports an NDJSON event stream that ended before its
+// summary line. Every complete schema_version 1 stream closes with exactly
+// one summary event, so its absence means the producing run was cancelled or
+// failed server-side, or the transfer was cut off.
+var ErrTruncatedStream = errors.New("qoe: event stream ended without a summary")
 
 // TextSink renders every experiment's classic text table to w, framed by the
 // qoebench timing line — byte-identical to the pre-SDK `qoebench` text
@@ -107,4 +114,75 @@ func (s *streamSink) Summary(ev SummaryEvent) error {
 		Experiments: ev.Experiments, Rows: ev.Rows, Conditions: ev.Conditions,
 		CacheRecords: ev.CacheRecords, CacheHits: ev.CacheHits,
 	})
+}
+
+// streamWire is the union of the three NDJSON line shapes, for decoding:
+// schema_version and type discriminate, the rest is per-type payload.
+type streamWire struct {
+	Schema       int             `json:"schema_version"`
+	Type         string          `json:"type"`
+	Experiment   string          `json:"experiment"`
+	Index        int             `json:"index"`
+	Data         json.RawMessage `json:"data"`
+	Stage        string          `json:"stage"`
+	Completed    int             `json:"completed"`
+	Total        int             `json:"total"`
+	Experiments  int             `json:"experiments"`
+	Rows         int             `json:"rows"`
+	Conditions   int             `json:"conditions"`
+	CacheRecords uint64          `json:"cache_records"`
+	CacheHits    uint64          `json:"cache_hits"`
+}
+
+// DecodeStream is the inverse of StreamSink: it reads a schema_version 1
+// NDJSON event stream from r and replays it into sink as typed events, so a
+// remote consumer (the qoed HTTP client) drives the same Sink implementations
+// a local Session.Run would. It returns the stream's SummaryEvent.
+//
+// Decoding is strict: an unknown schema_version or event type, or malformed
+// JSON, fails immediately with a decode error. A stream that ENDS cleanly
+// without a summary line (io.EOF / io.ErrUnexpectedEOF) — the wire signature
+// of a run that was cancelled or failed server-side, or of a cut-off
+// transfer — returns ErrTruncatedStream instead; other mid-read failures
+// (wire corruption, transport errors) are reported as what they are, never
+// conflated with truncation. A sink error stops the replay and is returned
+// as-is, mirroring Session.Run's sink-error contract.
+func DecodeStream(r io.Reader, sink Sink) (SummaryEvent, error) {
+	dec := json.NewDecoder(r)
+	for {
+		var w streamWire
+		if err := dec.Decode(&w); err != nil {
+			if errors.Is(err, io.EOF) {
+				return SummaryEvent{}, ErrTruncatedStream
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return SummaryEvent{}, fmt.Errorf("%w: %v", ErrTruncatedStream, err)
+			}
+			return SummaryEvent{}, fmt.Errorf("qoe: decoding event stream: %w", err)
+		}
+		if w.Schema != SchemaVersion {
+			return SummaryEvent{}, fmt.Errorf("qoe: unsupported schema_version %d (want %d)", w.Schema, SchemaVersion)
+		}
+		switch w.Type {
+		case "row":
+			if err := sink.Row(RowEvent{Experiment: w.Experiment, Index: w.Index, Data: w.Data}); err != nil {
+				return SummaryEvent{}, err
+			}
+		case "progress":
+			if err := sink.Progress(ProgressEvent{Stage: Stage(w.Stage), Experiment: w.Experiment, Completed: w.Completed, Total: w.Total}); err != nil {
+				return SummaryEvent{}, err
+			}
+		case "summary":
+			ev := SummaryEvent{
+				Experiments: w.Experiments, Rows: w.Rows, Conditions: w.Conditions,
+				CacheRecords: w.CacheRecords, CacheHits: w.CacheHits,
+			}
+			if err := sink.Summary(ev); err != nil {
+				return SummaryEvent{}, err
+			}
+			return ev, nil
+		default:
+			return SummaryEvent{}, fmt.Errorf("qoe: unknown stream event type %q", w.Type)
+		}
+	}
 }

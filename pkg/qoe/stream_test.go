@@ -5,6 +5,8 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
+	"strings"
 	"testing"
 )
 
@@ -81,6 +83,83 @@ func TestStreamDeterministic(t *testing.T) {
 	b := runStream(t, 7, "table1", "ext-0rtt")
 	if !bytes.Equal(a, b) {
 		t.Fatal("stream output not reproducible across runs")
+	}
+}
+
+// TestDecodeStreamRoundTrip: decoding a streamed run and re-encoding it
+// through a fresh StreamSink reproduces the original bytes, and the returned
+// summary matches the stream's summary line — the loss-free property the
+// remote client relies on.
+func TestDecodeStreamRoundTrip(t *testing.T) {
+	orig := runStream(t, 11, "table1", "table2")
+	var reenc bytes.Buffer
+	summary, err := DecodeStream(bytes.NewReader(orig), StreamSink(&reenc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, reenc.Bytes()) {
+		t.Fatalf("decode→re-encode drifted: %d vs %d bytes", len(orig), reenc.Len())
+	}
+	if summary.Experiments != 2 || summary.Rows == 0 {
+		t.Fatalf("decoded summary %+v inconsistent", summary)
+	}
+}
+
+// TestDecodeStreamTruncated: a stream cut off before its summary line — a
+// cancelled server-side run or a dropped connection — surfaces as
+// ErrTruncatedStream instead of silently succeeding.
+func TestDecodeStreamTruncated(t *testing.T) {
+	orig := runStream(t, 11, "table1")
+	lines := bytes.Split(bytes.TrimSuffix(orig, []byte("\n")), []byte("\n"))
+	cut := bytes.Join(lines[:len(lines)-1], []byte("\n")) // drop the summary
+	if _, err := DecodeStream(bytes.NewReader(cut), &collectSink{}); err == nil || !errors.Is(err, ErrTruncatedStream) {
+		t.Fatalf("DecodeStream(truncated) = %v, want ErrTruncatedStream", err)
+	}
+	if _, err := DecodeStream(bytes.NewReader([]byte(`{"schema_version":2,"type":"row"}`+"\n")), &collectSink{}); err == nil {
+		t.Fatal("unknown schema_version must fail decoding")
+	}
+	if _, err := DecodeStream(bytes.NewReader([]byte(`{"schema_version":1,"type":"telemetry"}`+"\n")), &collectSink{}); err == nil {
+		t.Fatal("unknown event type must fail decoding")
+	}
+	// Wire corruption is a decode error, NOT truncation: a proxy injecting
+	// garbage mid-body must not read as "the run was cancelled server-side".
+	corrupt := append(append([]byte{}, lines[0]...), []byte("\n<html>bad gateway</html>\n")...)
+	if _, err := DecodeStream(bytes.NewReader(corrupt), &collectSink{}); err == nil || errors.Is(err, ErrTruncatedStream) {
+		t.Fatalf("DecodeStream(corrupt) = %v, want a non-truncation decode error", err)
+	}
+	// A line cut off mid-object is truncation (unexpected EOF).
+	if _, err := DecodeStream(bytes.NewReader(orig[:len(orig)/2]), &collectSink{}); err == nil || !errors.Is(err, ErrTruncatedStream) {
+		t.Fatalf("DecodeStream(mid-object cut) = %v, want ErrTruncatedStream", err)
+	}
+}
+
+// TestResolveExperiments: "all" (and the empty selection) expands to the
+// registry, explicit names resolve in selection order, and unknown names
+// fail with the registry's did-you-mean suggestion.
+func TestResolveExperiments(t *testing.T) {
+	all, err := ResolveExperiments("all")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(ExperimentNames()) {
+		t.Fatalf("all resolved to %d experiments, want %d", len(all), len(ExperimentNames()))
+	}
+	def, err := ResolveExperiments()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(def) != len(all) {
+		t.Fatalf("empty selection resolved to %d, want the full registry", len(def))
+	}
+	got, err := ResolveExperiments("table2", "table1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "table2" || got[1] != "table1" {
+		t.Fatalf("ResolveExperiments(table2, table1) = %v", got)
+	}
+	if _, err := ResolveExperiments("fig7"); err == nil || !strings.Contains(err.Error(), "did you mean") {
+		t.Fatalf("ResolveExperiments(fig7) = %v, want did-you-mean error", err)
 	}
 }
 
