@@ -1,0 +1,129 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func TestParseBlend(t *testing.T) {
+	w, err := parseBlend("1:6:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != [numClasses]int{1, 6, 3} {
+		t.Fatalf("parseBlend(1:6:3) = %v", w)
+	}
+	for _, bad := range []string{"", "1:2", "1:2:3:4", "a:b:c", "-1:2:3", "0:0:0"} {
+		if _, err := parseBlend(bad); err == nil {
+			t.Errorf("parseBlend(%q): want error", bad)
+		}
+	}
+}
+
+// TestBuildScheduleProportions: exact class counts under largest-remainder
+// rounding, disjoint seed spaces, dedup bursts of the configured size.
+func TestBuildScheduleProportions(t *testing.T) {
+	weights := [numClasses]int{1, 6, 3}
+	s := buildSchedule(100, weights, 4, 8, rand.New(rand.NewSource(7)))
+	if len(s) != 100 {
+		t.Fatalf("schedule length %d, want 100", len(s))
+	}
+	counts := [numClasses]int{}
+	groupSize := map[int64]int{}
+	for _, r := range s {
+		counts[r.class]++
+		switch r.class {
+		case classCold:
+			if r.seed < coldSeedBase || r.seed >= dedupSeedBase {
+				t.Fatalf("cold seed %d outside its space", r.seed)
+			}
+		case classCached:
+			if r.seed < cachedSeedBase || r.seed >= cachedSeedBase+4 {
+				t.Fatalf("cached seed %d outside warm pool", r.seed)
+			}
+		case classDedup:
+			if r.seed < dedupSeedBase {
+				t.Fatalf("dedup seed %d outside its space", r.seed)
+			}
+			groupSize[r.seed]++
+		}
+	}
+	if counts != [numClasses]int{10, 60, 30} {
+		t.Fatalf("class counts %v, want [10 60 30]", counts)
+	}
+	// 30 dedup requests in groups of 8: sizes 8,8,8,6.
+	for seed, n := range groupSize {
+		if n > 8 {
+			t.Errorf("dedup group %d has %d members, want <= 8", seed, n)
+		}
+	}
+	if len(groupSize) != 4 {
+		t.Errorf("%d dedup groups, want 4", len(groupSize))
+	}
+}
+
+// TestBuildScheduleDeterministic: the same seed yields the same schedule, a
+// different seed a different interleaving.
+func TestBuildScheduleDeterministic(t *testing.T) {
+	weights := [numClasses]int{1, 1, 1}
+	a := buildSchedule(60, weights, 2, 4, rand.New(rand.NewSource(1)))
+	b := buildSchedule(60, weights, 2, 4, rand.New(rand.NewSource(1)))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("schedules diverge at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := buildSchedule(60, weights, 2, 4, rand.New(rand.NewSource(2)))
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different shuffle seeds produced identical schedules")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	lat := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if got := percentile(lat, 0.50); got != 5 {
+		t.Errorf("p50 = %v, want 5", got)
+	}
+	if got := percentile(lat, 0.99); got != 10 {
+		t.Errorf("p99 = %v, want 10", got)
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %v, want 0", got)
+	}
+}
+
+// TestEvalSLOs: each gate trips independently and Pass is their conjunction.
+func TestEvalSLOs(t *testing.T) {
+	r := &report{Requests: 100, Errors: 0, RowsPerSec: 500,
+		Overall: classStats{P50: 10 * time.Millisecond, P99: 90 * time.Millisecond}}
+	r.evalSLOs(20*time.Millisecond, 100*time.Millisecond, 100, 0)
+	if !r.Pass || len(r.SLOs) != 4 {
+		t.Fatalf("healthy report failed: %+v", r.SLOs)
+	}
+	r = &report{Requests: 100, Errors: 3, RowsPerSec: 500,
+		Overall: classStats{P50: 10 * time.Millisecond, P99: 90 * time.Millisecond}}
+	r.evalSLOs(0, 0, 0, 0.01)
+	if r.Pass {
+		t.Fatal("error-rate gate did not trip at 3% > 1%")
+	}
+	r = &report{Requests: 100, RowsPerSec: 50,
+		Overall: classStats{P99: 200 * time.Millisecond}}
+	r.evalSLOs(0, 100*time.Millisecond, 100, 0)
+	var tripped int
+	for _, s := range r.SLOs {
+		if !s.OK {
+			tripped++
+		}
+	}
+	if r.Pass || tripped != 2 {
+		t.Fatalf("want p99 + rows gates tripped, got %+v", r.SLOs)
+	}
+}

@@ -206,6 +206,10 @@ func (b *BBR) OnAck(now time.Duration, ackedBytes int, rtt time.Duration, bwSamp
 		b.checkFullPipe()
 	}
 
+	// Expired samples are compacted to the front of the same backing array
+	// (never resliced off it): append then reuses the freed tail capacity,
+	// so the steady-state ack path stops allocating once the filters reach
+	// their windowed high-water mark.
 	if bwSample > 0 {
 		b.bwFilter = append(b.bwFilter, bwSampleEntry{round: b.round, bw: bwSample})
 		// Expire samples outside the round window.
@@ -213,7 +217,10 @@ func (b *BBR) OnAck(now time.Duration, ackedBytes int, rtt time.Duration, bwSamp
 		for cut < len(b.bwFilter) && b.bwFilter[cut].round+bbrBtlBwWindowRounds < b.round {
 			cut++
 		}
-		b.bwFilter = b.bwFilter[cut:]
+		if cut > 0 {
+			n := copy(b.bwFilter, b.bwFilter[cut:])
+			b.bwFilter = b.bwFilter[:n]
+		}
 	}
 	if rtt > 0 {
 		b.rttFilter = append(b.rttFilter, rttSampleEntry{at: now, rtt: rtt})
@@ -221,7 +228,10 @@ func (b *BBR) OnAck(now time.Duration, ackedBytes int, rtt time.Duration, bwSamp
 		for cut < len(b.rttFilter) && b.rttFilter[cut].at+bbrMinRTTWindow < now {
 			cut++
 		}
-		b.rttFilter = b.rttFilter[cut:]
+		if cut > 0 {
+			n := copy(b.rttFilter, b.rttFilter[cut:])
+			b.rttFilter = b.rttFilter[:n]
+		}
 		if rtt <= b.minRTT() {
 			b.minRTTStamp = now
 		}

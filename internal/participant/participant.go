@@ -230,8 +230,19 @@ func misbehaviourRates(g study.Group, k conformance.StudyKind) [conformance.Rule
 // Behaviour samples the conformance-relevant conduct of one session. The
 // returned Session has behaviour fields set but no answers yet.
 func Behaviour(g study.Group, k conformance.StudyKind, rng *rand.Rand) *conformance.Session {
+	s := &conformance.Session{}
+	BehaviourInto(s, g, k, rng)
+	return s
+}
+
+// BehaviourInto samples one session's conduct into a caller-owned Session,
+// consuming exactly the random draws Behaviour does and leaving s identical
+// to a freshly sampled one (answer slices included: they are reset to nil).
+// Population-scale loops reuse a single Session per worker this way instead
+// of allocating one per synthetic participant.
+func BehaviourInto(s *conformance.Session, g study.Group, k conformance.StudyKind, rng *rand.Rand) {
 	rates := misbehaviourRates(g, k)
-	s := &conformance.Session{
+	*s = conformance.Session{
 		Group:           g,
 		Kind:            k,
 		AllVideosPlayed: rng.Float64() >= rates[0],
@@ -262,7 +273,6 @@ func Behaviour(g study.Group, k conformance.StudyKind, rng *rand.Rand) *conforma
 	if s.TotalDuration < 3*time.Minute {
 		s.TotalDuration = 3 * time.Minute
 	}
-	return s
 }
 
 // Population generates n sessions' behaviour logs for a group and study.

@@ -1,0 +1,86 @@
+package population
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/study"
+)
+
+// The allocation-regression gates below are the population-engine
+// counterparts of the simnet/transport gates from the pooled event core:
+// they pin the invariant that a run's allocations are per-run setup only
+// (shard slabs, worker scratch, seed table) and NEVER scale with the
+// population, so the pooling win cannot silently rot. The absolute ceilings
+// are deliberately loose — a regression that reintroduces per-participant
+// allocation blows past them by orders of magnitude.
+
+// abAllocs measures one sequential RunAB over the given population size.
+func abAllocs(t *testing.T, participants int) float64 {
+	t.Helper()
+	cells := testABCells()
+	cfg := Config{
+		Group:        study.Microworker,
+		Participants: participants,
+		Shards:       8,
+		Workers:      1,
+		Seed:         1,
+		Conformance:  true,
+	}
+	return testing.AllocsPerRun(3, func() {
+		if _, err := RunAB(context.Background(), cells, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// ratingAllocs measures one sequential RunRating over the population size.
+func ratingAllocs(t *testing.T, participants int) float64 {
+	t.Helper()
+	cells := testRatingCells()
+	cfg := Config{
+		Group:        study.Microworker,
+		Participants: participants,
+		Shards:       8,
+		Workers:      1,
+		Seed:         1,
+		Conformance:  true,
+	}
+	return testing.AllocsPerRun(3, func() {
+		if _, err := RunRating(context.Background(), cells, cfg); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestRunABAllocsIndependentOfPopulation: growing the population 8x must not
+// change the allocation count at all — the participant loop is
+// allocation-free.
+func TestRunABAllocsIndependentOfPopulation(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only exact without it")
+	}
+	small, large := abAllocs(t, 1_000), abAllocs(t, 8_000)
+	if small != large {
+		t.Errorf("RunAB allocs scale with population: %.0f at 1k participants, %.0f at 8k", small, large)
+	}
+	// Absolute ceiling on the fixed per-run setup.
+	if large > 60 {
+		t.Errorf("RunAB fixed setup allocates %.0f times, want <= 60", large)
+	}
+}
+
+// TestRunRatingAllocsIndependentOfPopulation: same contract for the rating
+// engine (whose per-cell histograms are slab-backed).
+func TestRunRatingAllocsIndependentOfPopulation(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race-detector instrumentation allocates; counts are only exact without it")
+	}
+	small, large := ratingAllocs(t, 1_000), ratingAllocs(t, 8_000)
+	if small != large {
+		t.Errorf("RunRating allocs scale with population: %.0f at 1k participants, %.0f at 8k", small, large)
+	}
+	if large > 80 {
+		t.Errorf("RunRating fixed setup allocates %.0f times, want <= 80", large)
+	}
+}

@@ -210,6 +210,16 @@ func shardSeed(master int64, shard int) int64 {
 	return core.DeriveSeed(master, fmt.Sprintf("pop-shard/%d", shard))
 }
 
+// shardSeeds precomputes every shard's seed, so the shard loop itself does
+// no per-shard string formatting.
+func shardSeeds(master int64, shards int) []int64 {
+	seeds := make([]int64, shards)
+	for i := range seeds {
+		seeds[i] = shardSeed(master, i)
+	}
+	return seeds
+}
+
 // shardRange returns the half-open participant range of shard i when total
 // participants are split as evenly as possible over shards.
 func shardRange(total, shards, i int) (lo, hi int) {
@@ -242,18 +252,22 @@ func drawDistinct(rng *rand.Rand, dst []int, n, k int) []int {
 
 // runShards executes fn for every shard index on a bounded worker pool.
 // fn must be pure per shard; results are consumed afterwards in shard order.
-// Cancelling ctx stops dispatching new shards and fn is expected to return
-// ctx.Err() from inside its participant loop, so a cancelled million-vote
-// run winds down within one participant's worth of work per worker. The
-// first non-nil fn error (in completion order) is returned; on cancellation
-// every in-flight fn observes the same ctx, so that error is ctx.Err().
-func runShards(ctx context.Context, shards, workers int, fn func(shard int) error) error {
+// worker identifies the pool slot running the shard (always 0 when
+// sequential), so fn can reuse per-worker scratch — shard results must not
+// depend on which worker ran them, which holds as long as the scratch is
+// (re)initialized from the shard seed alone. Cancelling ctx stops
+// dispatching new shards and fn is expected to return ctx.Err() from inside
+// its participant loop, so a cancelled million-vote run winds down within
+// one participant's worth of work per worker. The first non-nil fn error
+// (in completion order) is returned; on cancellation every in-flight fn
+// observes the same ctx, so that error is ctx.Err().
+func runShards(ctx context.Context, shards, workers int, fn func(shard, worker int) error) error {
 	if workers <= 1 {
 		for i := 0; i < shards; i++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			if err := fn(i); err != nil {
+			if err := fn(i, 0); err != nil {
 				return err
 			}
 		}
@@ -274,17 +288,17 @@ func runShards(ctx context.Context, shards, workers int, fn func(shard int) erro
 	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for i := range jobs {
 				if ctx.Err() != nil {
 					continue // drain without running
 				}
-				if err := fn(i); err != nil {
+				if err := fn(i, w); err != nil {
 					setErr(err)
 				}
 			}
-		}()
+		}(w)
 	}
 feed:
 	for i := 0; i < shards; i++ {
@@ -300,6 +314,29 @@ feed:
 		return err
 	}
 	return runErr
+}
+
+// popWorker is the pooled per-worker scratch of the shard loop: one rng
+// (reseeded from the shard seed at every shard, so results stay independent
+// of worker assignment), one reusable participant model, one reusable
+// behaviour session, and the condition-permutation scratch. Everything a
+// participant iteration touches lives here or in the shard's slab-backed
+// aggregates — the loop itself allocates nothing.
+type popWorker struct {
+	rng     *rand.Rand
+	model   participant.Model
+	session conformance.Session
+	perm    []int
+}
+
+// newPopWorkers builds the scratch pool: one entry per pool slot.
+func newPopWorkers(workers, permLen int) []popWorker {
+	ws := make([]popWorker, workers)
+	for i := range ws {
+		ws[i].rng = rand.New(rand.NewSource(0)) // reseeded per shard
+		ws[i].perm = make([]int, permLen)
+	}
+	return ws
 }
 
 // abShard holds one shard's private aggregates.
@@ -323,27 +360,34 @@ func RunAB(ctx context.Context, cells []ABCell, cfg Config) (ABResult, error) {
 		votesPer = study.PlanFor(cfg.Group).ABVideos
 	}
 
+	// One slab backs every shard's cell aggregates; per-worker scratch is
+	// pooled and reseeded per shard, so the participant loop below allocates
+	// nothing no matter the population size.
 	shards := make([]abShard, cfg.Shards)
-	err := runShards(ctx, cfg.Shards, cfg.Workers, func(si int) error {
+	cellSlab := make([]ABCellStats, cfg.Shards*len(cells))
+	seeds := shardSeeds(cfg.Seed, cfg.Shards)
+	pool := newPopWorkers(cfg.Workers, len(cells))
+	err := runShards(ctx, cfg.Shards, cfg.Workers, func(si, wi int) error {
 		sh := &shards[si]
-		sh.cells = make([]ABCellStats, len(cells))
-		rng := rand.New(rand.NewSource(shardSeed(cfg.Seed, si)))
-		scratch := make([]int, len(cells))
-		var m participant.Model // reused across the shard's participants
+		sh.cells = cellSlab[si*len(cells) : (si+1)*len(cells) : (si+1)*len(cells)]
+		ws := &pool[wi]
+		rng := ws.rng
+		rng.Seed(seeds[si])
+		m := &ws.model // reused across the shard's participants
 		lo, hi := shardRange(cfg.Participants, cfg.Shards, si)
 		for p := lo; p < hi; p++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			if cfg.Conformance {
-				s := participant.Behaviour(cfg.Group, conformance.AB, rng)
-				if !sh.funnel.Observe(s) {
+				participant.BehaviourInto(&ws.session, cfg.Group, conformance.AB, rng)
+				if !sh.funnel.Observe(&ws.session) {
 					continue
 				}
 			}
 			sh.kept++
 			m.Reinit(cfg.Group, rng)
-			for _, ci := range drawDistinct(rng, scratch, len(cells), votesPer) {
+			for _, ci := range drawDistinct(rng, ws.perm, len(cells), votesPer) {
 				cell := &cells[ci]
 				vote, confidence, replays := m.ABVote(cell.Left, cell.Right)
 				st := &sh.cells[ci]
@@ -458,35 +502,50 @@ func RunRating(ctx context.Context, cells []RatingCell, cfg Config) (RatingResul
 		}
 	}
 
+	// Slab-backed shard aggregates: one slice of cells, one slice of
+	// histogram structs, one flat bin array — three allocations for the
+	// whole run instead of three per shard × cell. Worker scratch is pooled
+	// and reseeded per shard, so the participant loop allocates nothing.
+	nc := len(cells)
 	shards := make([]ratingShard, cfg.Shards)
-	err := runShards(ctx, cfg.Shards, cfg.Workers, func(si int) error {
+	cellSlab := make([]RatingCellStats, cfg.Shards*nc)
+	histSlab := make([]stats.StreamHist, cfg.Shards*nc)
+	binSlab := make([]int64, cfg.Shards*nc*ratingHistBins)
+	seeds := shardSeeds(cfg.Seed, cfg.Shards)
+	pool := newPopWorkers(cfg.Workers, maxEnvCells)
+	envs := study.Environments() // hoisted: the accessor returns a fresh slice
+	err := runShards(ctx, cfg.Shards, cfg.Workers, func(si, wi int) error {
 		sh := &shards[si]
-		sh.cells = make([]RatingCellStats, len(cells))
+		sh.cells = cellSlab[si*nc : (si+1)*nc : (si+1)*nc]
 		for i, c := range cells {
-			sh.cells[i] = NewRatingCellStats(c.Label, c.Env)
+			h := &histSlab[si*nc+i]
+			bo := (si*nc + i) * ratingHistBins
+			h.Init(study.RatingMin, study.RatingMax, binSlab[bo:bo+ratingHistBins:bo+ratingHistBins])
+			sh.cells[i] = RatingCellStats{Label: c.Label, Env: c.Env, Hist: h}
 		}
-		rng := rand.New(rand.NewSource(shardSeed(cfg.Seed, si)))
-		scratch := make([]int, maxEnvCells)
-		var m participant.Model // reused across the shard's participants
+		ws := &pool[wi]
+		rng := ws.rng
+		rng.Seed(seeds[si])
+		m := &ws.model // reused across the shard's participants
 		lo, hi := shardRange(cfg.Participants, cfg.Shards, si)
 		for p := lo; p < hi; p++ {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			if cfg.Conformance {
-				s := participant.Behaviour(cfg.Group, conformance.Rating, rng)
-				if !sh.funnel.Observe(s) {
+				participant.BehaviourInto(&ws.session, cfg.Group, conformance.Rating, rng)
+				if !sh.funnel.Observe(&ws.session) {
 					continue
 				}
 			}
 			sh.kept++
 			m.Reinit(cfg.Group, rng)
-			for _, env := range study.Environments() { // fixed order: determinism
+			for _, env := range envs { // fixed order: determinism
 				idxs := byEnv[env]
 				if len(idxs) == 0 {
 					continue
 				}
-				for _, pick := range drawDistinct(rng, scratch, len(idxs), perEnv[env]) {
+				for _, pick := range drawDistinct(rng, ws.perm, len(idxs), perEnv[env]) {
 					ci := idxs[pick]
 					speed, quality := m.Rate(cells[ci].Rep, env)
 					st := &sh.cells[ci]

@@ -92,7 +92,7 @@ func BenchmarkServeBroadcastFanout(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		spec := RunSpec{Experiments: []string{"x"}, Scale: qoe.ScaleQuick, Seed: int64(i)}
 		ctx, cancel := context.WithCancel(context.Background())
-		j := newJob(spec, ctx, cancel, false)
+		j := newJob(spec.ID(), spec.Key(), spec, ctx, cancel, false)
 		done := make(chan error, 8)
 		for sub := 0; sub < 8; sub++ {
 			go func() {

@@ -212,15 +212,29 @@ func (s *Server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, body)
 }
 
+// Constant stream-header values, shared across responses so stamping the
+// envelope doesn't allocate fresh one-element slices per request. The keys
+// are already canonical MIME form, and handlers never mutate the shared
+// slices, so direct map assignment is equivalent to Header.Set.
+var (
+	ndjsonContentType  = []string{"application/x-ndjson; charset=utf-8"}
+	schemaVersionValue = []string{strconv.Itoa(qoe.SchemaVersion)}
+	sourceValues       = map[string][]string{
+		"live":   {"live"},
+		"cache":  {"cache"},
+		"failed": {"failed"},
+	}
+)
+
 // streamHeaders stamps the NDJSON response envelope. source is "live"
 // (broadcast from a running job), "cache" (replay of finished bytes), or
 // "failed" (sealed partial bytes of a dead run).
 func streamHeaders(w http.ResponseWriter, id, source string) {
 	h := w.Header()
-	h.Set("Content-Type", "application/x-ndjson; charset=utf-8")
-	h.Set("X-Qoe-Schema-Version", strconv.Itoa(qoe.SchemaVersion))
-	h.Set("X-Qoe-Run-Id", id)
-	h.Set("X-Qoe-Source", source)
+	h["Content-Type"] = ndjsonContentType
+	h["X-Qoe-Schema-Version"] = schemaVersionValue
+	h["X-Qoe-Run-Id"] = []string{id}
+	h["X-Qoe-Source"] = sourceValues[source]
 }
 
 // replayCached writes one finished stream in a single shot.

@@ -65,8 +65,10 @@ type job struct {
 // newJob creates a job carrying its creator's subscription (subs starts at
 // 1): admission and attachment are one atomic act, so there is never a
 // window in which a freshly created ephemeral job has zero subscribers.
-func newJob(spec RunSpec, runCtx context.Context, cancel context.CancelFunc, ephemeral bool) *job {
-	j := &job{id: spec.ID(), key: spec.Key(), spec: spec, runCtx: runCtx, cancel: cancel, ephemeral: ephemeral, subs: 1}
+// id and key must be spec's canonical identity (admit already has both in
+// hand, so the tuple isn't formatted and hashed a second time here).
+func newJob(id, key string, spec RunSpec, runCtx context.Context, cancel context.CancelFunc, ephemeral bool) *job {
+	j := &job{id: id, key: key, spec: spec, runCtx: runCtx, cancel: cancel, ephemeral: ephemeral, subs: 1}
 	j.wake = sync.NewCond(&j.mu)
 	return j
 }

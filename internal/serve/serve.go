@@ -214,8 +214,8 @@ var errDraining = errors.New("serve: server is draining")
 // (attach happens atomically with admission, so a concurrent
 // last-subscriber disconnect can never cancel a job between the two).
 func (s *Server) admit(spec RunSpec, ephemeral bool) (admission, error) {
-	id := spec.ID()
 	key := spec.Key()
+	id := idFromKey(key)
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.draining {
@@ -236,7 +236,7 @@ func (s *Server) admit(spec RunSpec, ephemeral bool) (admission, error) {
 		return admission{cached: data, key: key, id: id}, nil
 	}
 	runCtx, cancel := context.WithCancel(s.baseCtx)
-	j := newJob(spec, runCtx, cancel, ephemeral)
+	j := newJob(id, key, spec, runCtx, cancel, ephemeral)
 	select {
 	case s.queue <- j:
 	default:

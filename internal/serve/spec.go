@@ -2,7 +2,6 @@ package serve
 
 import (
 	"crypto/sha256"
-	"encoding/hex"
 	"fmt"
 	"sort"
 	"strconv"
@@ -58,17 +57,47 @@ func Canonicalize(experiments, scenarios []string, scale string, seed int64) (Ru
 // version leads the key so a wire-format bump can never replay bytes
 // recorded under the old encoding.
 func (s RunSpec) Key() string {
-	return fmt.Sprintf("v%d|scale=%s|seed=%d|experiments=%s",
-		qoe.SchemaVersion, s.Scale, s.Seed, strings.Join(s.Experiments, ","))
+	var b strings.Builder
+	n := len("v|scale=|seed=|experiments=") + 2 + len(s.Scale) + 20
+	for _, e := range s.Experiments {
+		n += len(e) + 1
+	}
+	b.Grow(n)
+	b.WriteByte('v')
+	b.WriteString(strconv.Itoa(qoe.SchemaVersion))
+	b.WriteString("|scale=")
+	b.WriteString(string(s.Scale))
+	b.WriteString("|seed=")
+	var tmp [20]byte
+	b.Write(strconv.AppendInt(tmp[:0], s.Seed, 10))
+	b.WriteString("|experiments=")
+	for i, e := range s.Experiments {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(e)
+	}
+	return b.String()
 }
 
 // ID is the content address derived from Key: 128 bits of its SHA-256, hex
 // encoded. It names the run in URLs (/v1/runs/{id}) and addresses the result
 // cache, so identical tuples always map to the same ID — across requests,
 // restarts, and replicas.
-func (s RunSpec) ID() string {
-	sum := sha256.Sum256([]byte(s.Key()))
-	return hex.EncodeToString(sum[:16])
+func (s RunSpec) ID() string { return idFromKey(s.Key()) }
+
+// idFromKey hashes an already-built Key, so callers that need both (the
+// admission path computes key and id for every request) don't format the
+// tuple twice.
+func idFromKey(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	const hexdig = "0123456789abcdef"
+	var dst [32]byte
+	for i, v := range sum[:16] {
+		dst[2*i] = hexdig[v>>4]
+		dst[2*i+1] = hexdig[v&0xF]
+	}
+	return string(dst[:])
 }
 
 // parseSeed parses a seed query/body value, defaulting empty to 1 so the

@@ -116,6 +116,22 @@ func NewStreamHist(lo, hi float64, bins int) *StreamHist {
 	return &StreamHist{lo: lo, hi: hi, bins: make([]int64, bins)}
 }
 
+// Init points h at caller-owned bin storage over [lo, hi], zeroing the
+// counts — the slab-allocation counterpart of NewStreamHist. A sharded
+// engine carves thousands of per-cell histograms out of one backing slice
+// this way instead of allocating each separately; the result is
+// merge-compatible with NewStreamHist(lo, hi, len(bins)).
+func (h *StreamHist) Init(lo, hi float64, bins []int64) {
+	if hi <= lo {
+		panic(fmt.Sprintf("stats: invalid histogram range [%g, %g]", lo, hi))
+	}
+	if len(bins) < 1 {
+		panic("stats: histogram needs at least one bin")
+	}
+	clear(bins)
+	*h = StreamHist{lo: lo, hi: hi, bins: bins}
+}
+
 // Add inserts one observation, clamping to the histogram range.
 func (h *StreamHist) Add(x float64) {
 	i := int(float64(len(h.bins)) * (x - h.lo) / (h.hi - h.lo))

@@ -1,0 +1,183 @@
+package qoe
+
+import (
+	"strconv"
+	"unicode/utf8"
+)
+
+// This file is the append-based wire encoder behind StreamSink: hand-rolled
+// encoders for the three schema_version 1 NDJSON line shapes, writing into a
+// caller-reused buffer instead of through encoding/json's reflection path.
+// The output is byte-identical to what a default json.Encoder produced for
+// the equivalent wire structs — including HTML escaping (<, >, & and
+// U+2028/U+2029 become \u-escapes, encoding/json's default) and RawMessage
+// compaction — which is pinned by the stream golden and by differential
+// tests against encoding/json on fuzzed events.
+
+const hexDigits = "0123456789abcdef"
+
+// appendRowEvent appends the "row" NDJSON line (newline included) for ev.
+func appendRowEvent(dst []byte, ev RowEvent) []byte {
+	dst = appendLineStart(dst, "row")
+	dst = append(dst, `,"experiment":`...)
+	dst = appendJSONString(dst, ev.Experiment)
+	dst = append(dst, `,"index":`...)
+	dst = strconv.AppendInt(dst, int64(ev.Index), 10)
+	dst = append(dst, `,"data":`...)
+	dst = appendCompactRaw(dst, ev.Data)
+	return append(dst, '}', '\n')
+}
+
+// appendProgressEvent appends the "progress" NDJSON line for ev. An empty
+// Experiment is omitted, matching the wire struct's omitempty.
+func appendProgressEvent(dst []byte, ev ProgressEvent) []byte {
+	dst = appendLineStart(dst, "progress")
+	dst = append(dst, `,"stage":`...)
+	dst = appendJSONString(dst, string(ev.Stage))
+	if ev.Experiment != "" {
+		dst = append(dst, `,"experiment":`...)
+		dst = appendJSONString(dst, ev.Experiment)
+	}
+	dst = append(dst, `,"completed":`...)
+	dst = strconv.AppendInt(dst, int64(ev.Completed), 10)
+	dst = append(dst, `,"total":`...)
+	dst = strconv.AppendInt(dst, int64(ev.Total), 10)
+	return append(dst, '}', '\n')
+}
+
+// appendSummaryEvent appends the "summary" NDJSON line for ev.
+func appendSummaryEvent(dst []byte, ev SummaryEvent) []byte {
+	dst = appendLineStart(dst, "summary")
+	dst = append(dst, `,"experiments":`...)
+	dst = strconv.AppendInt(dst, int64(ev.Experiments), 10)
+	dst = append(dst, `,"rows":`...)
+	dst = strconv.AppendInt(dst, int64(ev.Rows), 10)
+	dst = append(dst, `,"conditions":`...)
+	dst = strconv.AppendInt(dst, int64(ev.Conditions), 10)
+	dst = append(dst, `,"cache_records":`...)
+	dst = strconv.AppendUint(dst, ev.CacheRecords, 10)
+	dst = append(dst, `,"cache_hits":`...)
+	dst = strconv.AppendUint(dst, ev.CacheHits, 10)
+	return append(dst, '}', '\n')
+}
+
+// appendLineStart opens an event object with the schema/type envelope every
+// line carries.
+func appendLineStart(dst []byte, typ string) []byte {
+	dst = append(dst, `{"schema_version":`...)
+	dst = strconv.AppendInt(dst, SchemaVersion, 10)
+	dst = append(dst, `,"type":"`...)
+	dst = append(dst, typ...)
+	return append(dst, '"')
+}
+
+// jsonSafe reports whether an ASCII byte passes through a JSON string
+// unescaped under encoding/json's default (HTML-escaping) encoder.
+func jsonSafe(b byte) bool {
+	return b >= 0x20 && b != '"' && b != '\\' && b != '<' && b != '>' && b != '&'
+}
+
+// appendJSONString appends s as a JSON string literal, byte-identical to
+// encoding/json's default string encoding: control characters, quote and
+// backslash escaped; <, >, & HTML-escaped; U+2028/U+2029 \u-escaped; invalid
+// UTF-8 bytes emitted as � escapes.
+func appendJSONString(dst []byte, s string) []byte {
+	dst = append(dst, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if b := s[i]; b < utf8.RuneSelf {
+			if jsonSafe(b) {
+				i++
+				continue
+			}
+			dst = append(dst, s[start:i]...)
+			switch b {
+			case '\\', '"':
+				dst = append(dst, '\\', b)
+			case '\b':
+				dst = append(dst, '\\', 'b')
+			case '\f':
+				dst = append(dst, '\\', 'f')
+			case '\n':
+				dst = append(dst, '\\', 'n')
+			case '\r':
+				dst = append(dst, '\\', 'r')
+			case '\t':
+				dst = append(dst, '\\', 't')
+			default:
+				// Other control characters, plus <, >, & under HTML escaping.
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[b>>4], hexDigits[b&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			dst = append(dst, s[start:i]...)
+			dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	dst = append(dst, s[start:]...)
+	return append(dst, '"')
+}
+
+// appendCompactRaw appends a raw JSON value with insignificant whitespace
+// removed and HTML characters escaped — byte-identical to what
+// encoding/json's Marshal emits for a json.RawMessage. raw must be valid
+// JSON (every producer in this package — rowEvents' json.Compact output and
+// DecodeStream's decoder — guarantees it); malformed input is copied through
+// best-effort rather than diagnosed. A nil or empty value encodes as null,
+// matching the nil-RawMessage behaviour.
+func appendCompactRaw(dst []byte, raw []byte) []byte {
+	if len(raw) == 0 {
+		return append(dst, "null"...)
+	}
+	inStr := false
+	escaped := false
+	for i := 0; i < len(raw); i++ {
+		c := raw[i]
+		if inStr {
+			switch {
+			case escaped:
+				escaped = false
+				dst = append(dst, c)
+			case c == '\\':
+				escaped = true
+				dst = append(dst, c)
+			case c == '"':
+				inStr = false
+				dst = append(dst, c)
+			case c == '<' || c == '>' || c == '&':
+				dst = append(dst, '\\', 'u', '0', '0', hexDigits[c>>4], hexDigits[c&0xF])
+			case c == 0xE2 && i+2 < len(raw) && raw[i+1] == 0x80 && raw[i+2]&^1 == 0xA8:
+				dst = append(dst, '\\', 'u', '2', '0', '2', hexDigits[raw[i+2]&0xF])
+				i += 2
+			default:
+				dst = append(dst, c)
+			}
+			continue
+		}
+		switch c {
+		case ' ', '\t', '\n', '\r':
+			// Insignificant inter-token whitespace: dropped.
+		case '"':
+			inStr = true
+			dst = append(dst, c)
+		default:
+			dst = append(dst, c)
+		}
+	}
+	return dst
+}

@@ -1,0 +1,292 @@
+package qoe
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+// The legacy wire structs StreamSink encoded through encoding/json before
+// the append encoder replaced them. They are kept here as the differential
+// oracle: for every event, the append encoder must reproduce a default
+// json.Encoder's output for these structs byte-for-byte.
+
+type legacyRowWire struct {
+	Schema     int             `json:"schema_version"`
+	Type       string          `json:"type"`
+	Experiment string          `json:"experiment"`
+	Index      int             `json:"index"`
+	Data       json.RawMessage `json:"data"`
+}
+
+type legacyProgressWire struct {
+	Schema     int    `json:"schema_version"`
+	Type       string `json:"type"`
+	Stage      string `json:"stage"`
+	Experiment string `json:"experiment,omitempty"`
+	Completed  int    `json:"completed"`
+	Total      int    `json:"total"`
+}
+
+type legacySummaryWire struct {
+	Schema       int    `json:"schema_version"`
+	Type         string `json:"type"`
+	Experiments  int    `json:"experiments"`
+	Rows         int    `json:"rows"`
+	Conditions   int    `json:"conditions"`
+	CacheRecords uint64 `json:"cache_records"`
+	CacheHits    uint64 `json:"cache_hits"`
+}
+
+func legacyEncode(t *testing.T, v any) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(v); err != nil {
+		t.Fatalf("legacy encode: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// trickyStrings exercises every escaping branch: quotes, backslashes,
+// control characters, HTML characters, U+2028/U+2029, multi-byte runes, and
+// invalid UTF-8.
+var trickyStrings = []string{
+	"",
+	"plain",
+	`quote " backslash \ slash /`,
+	"tabs\tnewlines\ncarriage\rreturns",
+	"nul\x00bell\x07esc\x1b",
+	"<script>alert('&')</script>",
+	"line\u2028and\u2029paragraph",
+	"héllo wörld — naïve füzz",
+	"日本語テキスト",
+	"invalid\xff\xfeutf8\xc3(",
+	"emoji 🎉 and combining é",
+}
+
+// trickyRaw exercises RawMessage compaction: pre-compacted values,
+// indented values, escapes inside strings, HTML characters, nested
+// structures, and all the scalar kinds.
+var trickyRaw = []string{
+	`null`,
+	`true`,
+	`-12.75e-3`,
+	`"plain string"`,
+	`"esc \" \\ \u0041 inside"`,
+	`"html <b>&</b> inside"`,
+	"\"separators \u2028 \u2029 raw\"",
+	`{"a":1,"b":[true,null,"x"]}`,
+	"{\n  \"indented\": [1, 2, 3],\n  \"nested\": {\"deep\": \"  spaces kept  \"}\n}",
+	"[\r\n\t 1 ,\t2 , {\"k\" : \"v < w\"} ]",
+	`{}`,
+	`[]`,
+}
+
+// TestRowEventDifferential: the append encoder reproduces the legacy
+// encoding/json bytes for row events over the full cross product of tricky
+// experiment names and payloads.
+func TestRowEventDifferential(t *testing.T) {
+	var sink bytes.Buffer
+	s := StreamSink(&sink).(*streamSink)
+	idx := 0
+	for _, name := range trickyStrings {
+		for _, raw := range trickyRaw {
+			ev := RowEvent{Experiment: name, Index: idx, Data: json.RawMessage(raw)}
+			idx += 7919 // step across many digit widths
+			want := legacyEncode(t, legacyRowWire{Schema: SchemaVersion, Type: "row", Experiment: ev.Experiment, Index: ev.Index, Data: ev.Data})
+			sink.Reset()
+			if err := s.Row(ev); err != nil {
+				t.Fatalf("Row(%q): %v", name, err)
+			}
+			if got := sink.Bytes(); !bytes.Equal(got, want) {
+				t.Fatalf("row wire mismatch for experiment %q data %q:\n got  %q\n want %q", name, raw, got, want)
+			}
+		}
+	}
+}
+
+// TestRowEventNilData: a nil RawMessage encodes as null, like the legacy
+// encoder did.
+func TestRowEventNilData(t *testing.T) {
+	var sink bytes.Buffer
+	s := StreamSink(&sink).(*streamSink)
+	if err := s.Row(RowEvent{Experiment: "x", Index: 3}); err != nil {
+		t.Fatal(err)
+	}
+	want := legacyEncode(t, legacyRowWire{Schema: SchemaVersion, Type: "row", Experiment: "x", Index: 3, Data: nil})
+	if got := sink.Bytes(); !bytes.Equal(got, want) {
+		t.Fatalf("nil-data row mismatch:\n got  %q\n want %q", got, want)
+	}
+}
+
+// TestProgressEventDifferential covers both the omitempty (leading
+// zero-progress) and populated experiment-name shapes.
+func TestProgressEventDifferential(t *testing.T) {
+	var sink bytes.Buffer
+	s := StreamSink(&sink).(*streamSink)
+	for _, name := range append([]string{""}, trickyStrings...) {
+		for _, stage := range []Stage{StagePrewarm, StageExperiment, Stage("custom <stage>")} {
+			ev := ProgressEvent{Stage: stage, Experiment: name, Completed: 41, Total: 107}
+			want := legacyEncode(t, legacyProgressWire{Schema: SchemaVersion, Type: "progress", Stage: string(ev.Stage), Experiment: ev.Experiment, Completed: ev.Completed, Total: ev.Total})
+			sink.Reset()
+			if err := s.Progress(ev); err != nil {
+				t.Fatal(err)
+			}
+			if got := sink.Bytes(); !bytes.Equal(got, want) {
+				t.Fatalf("progress wire mismatch for %q/%q:\n got  %q\n want %q", stage, name, got, want)
+			}
+		}
+	}
+}
+
+// TestSummaryEventDifferential walks numeric extremes through the counters.
+func TestSummaryEventDifferential(t *testing.T) {
+	var sink bytes.Buffer
+	s := StreamSink(&sink).(*streamSink)
+	for _, ev := range []SummaryEvent{
+		{},
+		{Experiments: 9, Rows: 137, Conditions: 42, CacheRecords: 7, CacheHits: 3},
+		{Experiments: 1 << 30, Rows: -1, Conditions: 0, CacheRecords: ^uint64(0), CacheHits: 1<<63 + 11},
+	} {
+		want := legacyEncode(t, legacySummaryWire{
+			Schema: SchemaVersion, Type: "summary",
+			Experiments: ev.Experiments, Rows: ev.Rows, Conditions: ev.Conditions,
+			CacheRecords: ev.CacheRecords, CacheHits: ev.CacheHits,
+		})
+		sink.Reset()
+		if err := s.Summary(ev); err != nil {
+			t.Fatal(err)
+		}
+		if got := sink.Bytes(); !bytes.Equal(got, want) {
+			t.Fatalf("summary wire mismatch for %+v:\n got  %q\n want %q", ev, got, want)
+		}
+	}
+}
+
+// randomJSONValue builds an arbitrary JSON-marshalable value.
+func randomJSONValue(rng *rand.Rand, depth int) any {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		switch rng.Intn(5) {
+		case 0:
+			return nil
+		case 1:
+			return rng.Intn(2) == 0
+		case 2:
+			return rng.NormFloat64() * 1e4
+		case 3:
+			return rng.Int63() - rng.Int63()
+		default:
+			return trickyStrings[rng.Intn(len(trickyStrings))]
+		}
+	}
+	if rng.Intn(2) == 0 {
+		n := rng.Intn(4)
+		arr := make([]any, n)
+		for i := range arr {
+			arr[i] = randomJSONValue(rng, depth-1)
+		}
+		return arr
+	}
+	n := rng.Intn(4)
+	obj := map[string]any{}
+	for i := 0; i < n; i++ {
+		obj[trickyStrings[rng.Intn(len(trickyStrings))]] = randomJSONValue(rng, depth-1)
+	}
+	return obj
+}
+
+// TestRowEventFuzzedDifferential drives randomly generated JSON payloads —
+// compact and indented — through both encoders. Indented inputs exercise
+// the whitespace-stripping half of compaction that the paper-table goldens
+// (already compact) never touch.
+func TestRowEventFuzzedDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var sink bytes.Buffer
+	s := StreamSink(&sink).(*streamSink)
+	for i := 0; i < 500; i++ {
+		v := randomJSONValue(rng, 3)
+		compact, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		indented, err := json.MarshalIndent(v, " \t", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, raw := range [][]byte{compact, indented} {
+			ev := RowEvent{Experiment: trickyStrings[rng.Intn(len(trickyStrings))], Index: rng.Intn(1 << 20), Data: raw}
+			want := legacyEncode(t, legacyRowWire{Schema: SchemaVersion, Type: "row", Experiment: ev.Experiment, Index: ev.Index, Data: ev.Data})
+			sink.Reset()
+			if err := s.Row(ev); err != nil {
+				t.Fatal(err)
+			}
+			if got := sink.Bytes(); !bytes.Equal(got, want) {
+				t.Fatalf("fuzzed row mismatch (iter %d, data %q):\n got  %q\n want %q", i, raw, got, want)
+			}
+		}
+	}
+}
+
+// FuzzAppendJSONString differentially checks the string encoder against
+// encoding/json for arbitrary (including non-UTF-8) input.
+func FuzzAppendJSONString(f *testing.F) {
+	for _, s := range trickyStrings {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		want, err := json.Marshal(s)
+		if err != nil {
+			t.Skip()
+		}
+		if got := appendJSONString(nil, s); !bytes.Equal(got, want) {
+			t.Fatalf("appendJSONString(%q) = %q, want %q", s, got, want)
+		}
+	})
+}
+
+// FuzzAppendCompactRaw differentially checks RawMessage compaction against
+// json.Marshal for arbitrary valid JSON input.
+func FuzzAppendCompactRaw(f *testing.F) {
+	for _, raw := range trickyRaw {
+		f.Add([]byte(raw))
+	}
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		if !json.Valid(raw) {
+			t.Skip()
+		}
+		want, err := json.Marshal(json.RawMessage(raw))
+		if err != nil {
+			t.Skip()
+		}
+		if got := appendCompactRaw(nil, raw); !bytes.Equal(got, want) {
+			t.Fatalf("appendCompactRaw(%q) = %q, want %q", raw, got, want)
+		}
+	})
+}
+
+// TestStreamSinkRowAllocs pins the streamed row path at <= 1 allocation per
+// row in steady state (the one being the broadcast buffer the sink writes
+// into growing; the encoder itself reuses its line scratch).
+func TestStreamSinkRowAllocs(t *testing.T) {
+	var out bytes.Buffer
+	out.Grow(1 << 20)
+	s := StreamSink(&out).(*streamSink)
+	ev := RowEvent{
+		Experiment: "table2",
+		Index:      5,
+		Data:       json.RawMessage(`{"Network":"DSL","Protocol":"QUIC+BBR","MeanPLT":1.25,"CI":[1.19,1.31]}`),
+	}
+	// Warm the line scratch.
+	if err := s.Row(ev); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := s.Row(ev); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 1 {
+		t.Errorf("StreamSink.Row allocates %.1f times per row, want <= 1", allocs)
+	}
+}

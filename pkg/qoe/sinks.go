@@ -69,51 +69,36 @@ func (s *docSink) Result(ev ResultEvent) error {
 // fixed session configuration; progress lines interleave in completion
 // order and carry no wall-clock values, so the whole stream is reproducible
 // for sequential (or single-experiment) runs.
-func StreamSink(w io.Writer) Sink { return &streamSink{enc: json.NewEncoder(w)} }
+//
+// Lines are append-encoded into a buffer reused across events (no
+// encoding/json reflection on the hot path — the steady-state row path does
+// not allocate) and handed to w as exactly one Write per event, so a
+// broadcast writer like qoed's job buffer sees whole NDJSON lines. The
+// bytes are identical to what the wire format's original
+// encoding/json-based encoder produced, golden- and differential-tested.
+func StreamSink(w io.Writer) Sink { return &streamSink{w: w} }
 
-type streamSink struct{ enc *json.Encoder }
-
-type rowWire struct {
-	Schema     int             `json:"schema_version"`
-	Type       string          `json:"type"`
-	Experiment string          `json:"experiment"`
-	Index      int             `json:"index"`
-	Data       json.RawMessage `json:"data"`
+type streamSink struct {
+	w   io.Writer
+	buf []byte // reused line scratch for the append encoders
 }
 
-type progressWire struct {
-	Schema     int    `json:"schema_version"`
-	Type       string `json:"type"`
-	Stage      string `json:"stage"`
-	Experiment string `json:"experiment,omitempty"`
-	Completed  int    `json:"completed"`
-	Total      int    `json:"total"`
-}
-
-type summaryWire struct {
-	Schema       int    `json:"schema_version"`
-	Type         string `json:"type"`
-	Experiments  int    `json:"experiments"`
-	Rows         int    `json:"rows"`
-	Conditions   int    `json:"conditions"`
-	CacheRecords uint64 `json:"cache_records"`
-	CacheHits    uint64 `json:"cache_hits"`
+func (s *streamSink) emit(line []byte) error {
+	s.buf = line[:0] // keep the grown capacity for the next event
+	_, err := s.w.Write(line)
+	return err
 }
 
 func (s *streamSink) Row(ev RowEvent) error {
-	return s.enc.Encode(rowWire{Schema: SchemaVersion, Type: "row", Experiment: ev.Experiment, Index: ev.Index, Data: ev.Data})
+	return s.emit(appendRowEvent(s.buf, ev))
 }
 
 func (s *streamSink) Progress(ev ProgressEvent) error {
-	return s.enc.Encode(progressWire{Schema: SchemaVersion, Type: "progress", Stage: string(ev.Stage), Experiment: ev.Experiment, Completed: ev.Completed, Total: ev.Total})
+	return s.emit(appendProgressEvent(s.buf, ev))
 }
 
 func (s *streamSink) Summary(ev SummaryEvent) error {
-	return s.enc.Encode(summaryWire{
-		Schema: SchemaVersion, Type: "summary",
-		Experiments: ev.Experiments, Rows: ev.Rows, Conditions: ev.Conditions,
-		CacheRecords: ev.CacheRecords, CacheHits: ev.CacheHits,
-	})
+	return s.emit(appendSummaryEvent(s.buf, ev))
 }
 
 // streamWire is the union of the three NDJSON line shapes, for decoding:
