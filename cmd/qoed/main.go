@@ -6,6 +6,17 @@
 //
 //	qoed [-addr :8080] [-workers N] [-queue N] [-cache-mb MB]
 //	     [-retry-after DUR] [-drain DUR]
+//	     [-worker | -coordinator URL,URL,...]
+//
+// Distributed studies: `-worker` announces the daemon as a shard worker (it
+// serves shard-range population sub-jobs at GET /v1/shard — every daemon
+// does, the flag marks the role), and `-coordinator url1,url2,...` makes it
+// a fabric coordinator over that worker pool: each canonical pop-ab /
+// pop-rating study a served session runs is split into shard-range
+// sub-jobs, dispatched across the pool with retry-with-backoff, and reduced
+// in shard order back into the byte-identical single-node stream. The
+// coordinator exposes its pool at GET /v1/fabric/workers and its dispatch
+// counters under "fabric" in /metrics.
 //
 // Because every run is a pure function of its canonical tuple (sorted
 // experiments, scale, seed, schema version), the daemon never simulates the
@@ -25,6 +36,8 @@
 //	GET  /v1/runs/{id}/stream     NDJSON event stream of a run
 //	GET  /v1/run?experiments=...  one-shot: admit + stream in one request,
 //	                              byte-compatible with `qoebench -stream`
+//	GET  /v1/shard?study=...      worker: stream one shard range's aggregates
+//	GET  /v1/fabric/workers       coordinator: worker pool health
 //
 // SIGINT/SIGTERM drains gracefully: admission stops, in-flight runs get
 // -drain to finish, then are cancelled cleanly through the same context
@@ -41,6 +54,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -54,12 +68,14 @@ func main() {
 	cacheMB := flag.Int64("cache-mb", 64, "result cache budget in MiB (<= 0 disables caching)")
 	retryAfter := flag.Duration("retry-after", 2*time.Second, "Retry-After hint on 429 responses")
 	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight runs at shutdown")
+	workerRole := flag.Bool("worker", false, "announce this daemon as a distributed-study shard worker")
+	coordinator := flag.String("coordinator", "", "comma-separated worker URLs; distribute pop-* studies across them")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qoed [-addr :8080] [-workers N] [-queue N] [-cache-mb MB] [-retry-after DUR] [-drain DUR]\n")
+		fmt.Fprintf(os.Stderr, "usage: qoed [-addr :8080] [-workers N] [-queue N] [-cache-mb MB] [-retry-after DUR] [-drain DUR] [-worker | -coordinator URL,URL,...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
-	if flag.NArg() != 0 {
+	if flag.NArg() != 0 || (*workerRole && *coordinator != "") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -71,13 +87,34 @@ func main() {
 		// as "use the default", which is not what a zero budget asks for.
 		cacheBytes = -1
 	}
-	srv := qoed.New(qoed.Config{
+	cfg := qoed.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		CacheBytes: cacheBytes,
 		RetryAfter: *retryAfter,
 		Logf:       logger.Printf,
-	})
+	}
+	if *coordinator != "" {
+		var pool []string
+		for _, u := range strings.Split(*coordinator, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				pool = append(pool, u)
+			}
+		}
+		fab, err := qoed.NewFabric(qoed.FabricConfig{Workers: pool, Logf: logger.Printf})
+		if err != nil {
+			logger.Fatalf("qoed: %v", err)
+		}
+		if err := fab.CheckWorkers(context.Background()); err != nil {
+			logger.Fatalf("qoed: %v", err)
+		}
+		cfg.Fabric = fab
+		logger.Printf("qoed: coordinating %d workers", len(pool))
+	}
+	if *workerRole {
+		logger.Printf("qoed: serving as shard worker")
+	}
+	srv := qoed.New(cfg)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,222 @@
+package main
+
+// Multi-process end-to-end tests for the distributed study fabric: real
+// qoed worker and coordinator processes on random ports, driven over HTTP,
+// including a SIGKILLed worker the coordinator must route around. These are
+// the only tests in the repo that exercise the fabric across process
+// boundaries — everything else fakes workers in-process.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// buildQoed compiles the daemon binary once per test.
+func buildQoed(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "qoed")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("build failed: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// daemon is one live qoed process.
+type daemon struct {
+	cmd  *exec.Cmd
+	addr string // host:port parsed from the readiness line
+}
+
+func (d *daemon) url() string { return "http://" + d.addr }
+
+// kill delivers SIGKILL — the fault the fabric must route around.
+func (d *daemon) kill() { d.cmd.Process.Kill() }
+
+// startDaemon boots the binary with -addr 127.0.0.1:0 plus extra args and
+// blocks until the readiness line ("qoed: listening on <addr>") reports the
+// bound port. Stderr keeps draining in the background so the process never
+// blocks on a full pipe.
+func startDaemon(t *testing.T, bin string, extra ...string) *daemon {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0"}, extra...)
+	cmd := exec.Command(bin, args...)
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	d := &daemon{cmd: cmd}
+	t.Cleanup(func() {
+		cmd.Process.Kill()
+		cmd.Wait()
+	})
+
+	const marker = "qoed: listening on "
+	ready := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			line := sc.Text()
+			if i := strings.Index(line, marker); i >= 0 {
+				select {
+				case ready <- line[i+len(marker):]:
+				default:
+				}
+			}
+			t.Logf("[%s] %s", filepath.Base(bin), line)
+		}
+	}()
+	select {
+	case d.addr = <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon %v never reported readiness", args)
+	}
+	return d
+}
+
+// fetch GETs a path from a daemon and returns the body.
+func fetch(t *testing.T, d *daemon, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(d.url() + path)
+	if err != nil {
+		t.Fatalf("GET %s: %v", path, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: HTTP %d: %s", path, resp.StatusCode, body)
+	}
+	return body
+}
+
+// TestDistributedStudyE2E is the fabric's multi-process proof: three real
+// worker daemons plus coordinators at two cluster sizes, all streaming the
+// canonical population studies byte-identically to a plain single-node
+// daemon — then a SIGKILLed worker, which the coordinator must absorb with
+// retries on the survivors without changing a single output byte.
+func TestDistributedStudyE2E(t *testing.T) {
+	if testing.Short() {
+		t.Skip("boots a multi-process cluster")
+	}
+	bin := buildQoed(t)
+
+	workers := make([]*daemon, 3)
+	for i := range workers {
+		workers[i] = startDaemon(t, bin, "-worker")
+	}
+	single := startDaemon(t, bin)
+	coord3 := startDaemon(t, bin, "-coordinator",
+		workers[0].url()+","+workers[1].url()+","+workers[2].url())
+	coord1 := startDaemon(t, bin, "-coordinator", workers[0].url())
+
+	const study = "/v1/run?experiments=pop-ab,pop-rating&scale=quick&seed=1"
+	want := fetch(t, single, study)
+	if len(want) == 0 || !bytes.Contains(want, []byte(`"type":"summary"`)) {
+		t.Fatalf("single-node stream looks incomplete:\n%.200s", want)
+	}
+	if got := fetch(t, coord3, study); !bytes.Equal(got, want) {
+		t.Fatal("3-worker distributed stream differs from single-node run")
+	}
+	if got := fetch(t, coord1, study); !bytes.Equal(got, want) {
+		t.Fatal("1-worker distributed stream differs from single-node run")
+	}
+
+	// Fault injection: SIGKILL a worker the 3-worker coordinator believes is
+	// healthy, then run a fresh (uncached) study. Round-robin guarantees the
+	// dead worker is dispatched to, so the run only succeeds via retry on the
+	// survivors — and must still match the single-node bytes exactly.
+	workers[2].kill()
+	const study2 = "/v1/run?experiments=pop-ab,pop-rating&scale=quick&seed=2"
+	want2 := fetch(t, single, study2)
+	if got := fetch(t, coord3, study2); !bytes.Equal(got, want2) {
+		t.Fatal("distributed stream with a SIGKILLed worker differs from single-node run")
+	}
+
+	// The detour shows up in the coordinator's fabric metrics ...
+	var metrics struct {
+		Fabric struct {
+			ShardRetries   int64 `json:"shard_retries"`
+			WorkerFailures int64 `json:"worker_failures"`
+			Reduced        int64 `json:"studies_reduced"`
+		} `json:"fabric"`
+	}
+	if err := json.Unmarshal(fetch(t, coord3, "/metrics"), &metrics); err != nil {
+		t.Fatal(err)
+	}
+	if metrics.Fabric.ShardRetries == 0 || metrics.Fabric.WorkerFailures == 0 {
+		t.Errorf("fabric metrics show no retries/failures after SIGKILL: %+v", metrics.Fabric)
+	}
+	if metrics.Fabric.Reduced != 4 {
+		t.Errorf("studies_reduced = %d, want 4 (two studies, two runs)", metrics.Fabric.Reduced)
+	}
+
+	// ... and in the worker-pool status endpoint.
+	var pool struct {
+		Workers []struct {
+			URL     string `json:"url"`
+			Healthy bool   `json:"healthy"`
+		} `json:"workers"`
+	}
+	if err := json.Unmarshal(fetch(t, coord3, "/v1/fabric/workers"), &pool); err != nil {
+		t.Fatalf("decoding /v1/fabric/workers: %v", err)
+	}
+	healthy := 0
+	for _, w := range pool.Workers {
+		if w.Healthy {
+			healthy++
+		}
+	}
+	if healthy != 2 {
+		t.Errorf("pool reports %d healthy workers after SIGKILL, want 2: %+v", healthy, pool.Workers)
+	}
+}
+
+// TestCoordinatorRefusesDeadPool: a coordinator whose whole pool is
+// unreachable must exit at boot with a clean error, not serve studies it
+// can never complete.
+func TestCoordinatorRefusesDeadPool(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildQoed(t)
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-coordinator", "http://127.0.0.1:9")
+	out, err := cmd.CombinedOutput()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.Success() {
+		t.Fatalf("expected failing exit, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "workers are healthy") {
+		t.Fatalf("boot error does not explain the dead pool:\n%s", out)
+	}
+}
+
+// TestWorkerAndCoordinatorFlagsAreExclusive pins the CLI contract.
+func TestWorkerAndCoordinatorFlagsAreExclusive(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds and runs the binary")
+	}
+	bin := buildQoed(t)
+	cmd := exec.Command(bin, "-worker", "-coordinator", "http://127.0.0.1:1")
+	out, err := cmd.CombinedOutput()
+	exit, ok := err.(*exec.ExitError)
+	if !ok || exit.ExitCode() != 2 {
+		t.Fatalf("expected usage exit 2, got %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "usage: qoed") {
+		t.Fatalf("missing usage message:\n%s", out)
+	}
+}

@@ -1,0 +1,42 @@
+package conformance
+
+import (
+	"fmt"
+
+	"repro/internal/study"
+)
+
+// FunnelState is the complete, wire-encodable state of a StreamFunnel: the
+// distributed study fabric ships one per shard so the coordinator can merge
+// the Table 3 funnel in shard order exactly as a single-node run does. All
+// fields are integers, so JSON round-trips the state losslessly.
+type FunnelState struct {
+	Group study.Group `json:"group"`
+	Kind  StudyKind   `json:"kind"`
+	Start int         `json:"start"`
+	// FirstViol[r] counts sessions whose first violated rule is r;
+	// FirstViol[RuleCount] counts conforming sessions.
+	FirstViol [RuleCount + 1]int `json:"first_viol"`
+}
+
+// State snapshots the funnel accumulator.
+func (f *StreamFunnel) State() FunnelState {
+	return FunnelState{Group: f.Group, Kind: f.Kind, Start: f.start, FirstViol: f.firstViol}
+}
+
+// Import replaces the accumulator's state with a snapshot, validating the
+// internal consistency a garbled wire payload would break.
+func (f *StreamFunnel) Import(s FunnelState) error {
+	sum := 0
+	for _, c := range s.FirstViol {
+		if c < 0 {
+			return fmt.Errorf("conformance: negative funnel count %d", c)
+		}
+		sum += c
+	}
+	if sum != s.Start {
+		return fmt.Errorf("conformance: funnel start=%d but rule counts sum to %d", s.Start, sum)
+	}
+	*f = StreamFunnel{Group: s.Group, Kind: s.Kind, start: s.Start, firstViol: s.FirstViol}
+	return nil
+}

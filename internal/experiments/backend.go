@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/population"
+	"repro/internal/study"
+)
+
+// PopulationBackend is the seam the distributed study fabric plugs into: an
+// alternative engine for the canonical pop-ab / pop-rating population runs.
+// When Options.Population is set, those experiments delegate their
+// (cells, config) call to it instead of the in-process engine — everything
+// around the call (cell construction, row aggregation, rendering) is
+// unchanged, which is what keeps a distributed run's output byte-identical
+// to a local one. pop-sweep deliberately bypasses the backend: its per-step
+// panels use a non-canonical config (VotesPerParticipant=1, per-step derived
+// seeds) and stay local.
+type PopulationBackend interface {
+	RunAB(ctx context.Context, cells []population.ABCell, cfg population.Config) (population.ABResult, error)
+	RunRating(ctx context.Context, cells []population.RatingCell, cfg population.Config) (population.RatingResult, error)
+}
+
+// PopABCells exposes the pop-ab stimulus grid for out-of-process execution:
+// a worker rebuilds the identical cells from the same testbed.
+func PopABCells(tb *core.Testbed) ([]population.ABCell, error) { return popABCells(tb) }
+
+// PopRatingCells exposes the pop-rating stimulus grid likewise.
+func PopRatingCells(tb *core.Testbed) ([]population.RatingCell, error) {
+	return popRatingCells(tb)
+}
+
+// PopABConfig is the canonical population config pop-ab runs with, given the
+// experiment's derived seed. Coordinator and workers both call this, so the
+// engine parameters can never drift between the two sides of the wire.
+func PopABConfig(seed int64) population.Config {
+	return population.Config{
+		Group:        study.Microworker,
+		Participants: popParticipants,
+		Seed:         seed,
+		Conformance:  true,
+	}
+}
+
+// PopRatingConfig is the canonical population config pop-rating runs with.
+func PopRatingConfig(seed int64) population.Config { return PopABConfig(seed) }

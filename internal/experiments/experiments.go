@@ -35,6 +35,9 @@ import (
 type Options struct {
 	Scale core.Scale
 	Seed  int64
+	// Population, when non-nil, executes the canonical pop-ab / pop-rating
+	// engine calls (e.g. on a distributed worker pool). Nil runs in process.
+	Population PopulationBackend
 }
 
 // DefaultOptions uses the quick scale with the canonical seed.

@@ -112,12 +112,11 @@ func popABRun(ctx context.Context, tb *core.Testbed, opts Options) (PopABResult,
 	if err != nil {
 		return PopABResult{}, err
 	}
-	res, err := population.RunAB(ctx, cells, population.Config{
-		Group:        study.Microworker,
-		Participants: popParticipants,
-		Seed:         opts.Seed,
-		Conformance:  true,
-	})
+	runAB := population.RunAB
+	if opts.Population != nil {
+		runAB = opts.Population.RunAB
+	}
+	res, err := runAB(ctx, cells, PopABConfig(opts.Seed))
 	if err != nil {
 		return PopABResult{}, err
 	}
@@ -268,12 +267,11 @@ func popRatingRun(ctx context.Context, tb *core.Testbed, opts Options) (PopRatin
 	if err != nil {
 		return PopRatingResult{}, err
 	}
-	res, err := population.RunRating(ctx, cells, population.Config{
-		Group:        study.Microworker,
-		Participants: popParticipants,
-		Seed:         opts.Seed,
-		Conformance:  true,
-	})
+	runRating := population.RunRating
+	if opts.Population != nil {
+		runRating = opts.Population.RunRating
+	}
+	res, err := runRating(ctx, cells, PopRatingConfig(opts.Seed))
 	if err != nil {
 		return PopRatingResult{}, err
 	}

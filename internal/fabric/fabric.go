@@ -1,0 +1,433 @@
+// Package fabric is the coordinator half of the distributed study fabric:
+// it splits a canonical pop-* population study into shard-range sub-jobs,
+// fans them out to a pool of qoed workers over the qoe.Client shard
+// protocol with bounded in-flight jobs and retry-with-backoff, and reduces
+// the returned per-shard aggregates — in ascending shard order, replaying
+// the engine's exact merge fold — into a result byte-identical to a
+// single-node run at any cluster size.
+//
+// The Coordinator implements experiments.PopulationBackend, so plugging it
+// into a session (qoe.WithPopulationBackend) distributes the pop-ab and
+// pop-rating engine calls while leaving every byte of the session's output
+// unchanged. Failure semantics: a sub-job that dies with one worker
+// (connection error, truncated or garbled stream, 429 backpressure) is
+// retried on the next live worker with exponential backoff; only when a
+// sub-job exhausts its attempt budget does the study fail, with a clean
+// error naming the lost shards.
+package fabric
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/population"
+	"repro/pkg/qoe"
+)
+
+// Config sizes a Coordinator. Workers is required; zero values elsewhere
+// take defaults.
+type Config struct {
+	// Workers lists the base URLs of the qoed workers (e.g.
+	// "http://127.0.0.1:8081").
+	Workers []string
+	// Scale and Seed are the DEFAULT study tuple — what the coordinator's
+	// own PopulationBackend methods assume. Seed is the MASTER seed
+	// (workers re-derive per-study seeds from it). A daemon serving many
+	// tuples pins each run's tuple with ForTuple instead.
+	Scale qoe.Scale
+	Seed  int64
+	// MaxInFlight bounds concurrently dispatched sub-jobs (default
+	// 2 × len(Workers)).
+	MaxInFlight int
+	// ShardsPerJob sizes sub-jobs (default ~4 jobs per worker).
+	ShardsPerJob int
+	// MaxAttempts is the per-sub-job attempt budget across workers
+	// (default 4).
+	MaxAttempts int
+	// Backoff is the base retry delay, doubled per attempt (default 100ms).
+	// A 429's Retry-After hint takes precedence when longer.
+	Backoff time.Duration
+	// HTTPClient serves all workers (default http.DefaultClient; pass one
+	// without a global timeout, shard jobs run as long as the simulation).
+	HTTPClient *http.Client
+	// Logf, when set, receives one line per dispatch/retry event.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * len(c.Workers)
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.Backoff <= 0 {
+		c.Backoff = 100 * time.Millisecond
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = http.DefaultClient
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// worker is one pool member with its lazily tracked health.
+type worker struct {
+	url    string
+	client *qoe.Client
+
+	mu       sync.Mutex
+	healthy  bool
+	failures int64
+}
+
+func (w *worker) setHealthy(ok bool) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if !ok {
+		w.failures++
+	}
+	w.healthy = ok
+}
+
+func (w *worker) state() (bool, int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.healthy, w.failures
+}
+
+// Coordinator fans canonical pop-* studies out over a worker pool. Safe for
+// concurrent use; one coordinator can back many sessions over its (scale,
+// seed) tuple.
+type Coordinator struct {
+	cfg     Config
+	workers []*worker
+
+	// rr is the round-robin cursor spreading sub-jobs across the pool.
+	rrMu sync.Mutex
+	rr   int
+
+	// Counters exported under "fabric" in the daemon's /metrics.
+	jobsDispatched  expvar.Int
+	jobsCompleted   expvar.Int
+	shardsComputed  expvar.Int
+	shardRetries    expvar.Int
+	workerFailures  expvar.Int
+	studiesReduced  expvar.Int
+	studiesFailed   expvar.Int
+	studiesFellBack expvar.Int
+	vars            *expvar.Map
+}
+
+// New builds a Coordinator over the worker pool. Workers start out presumed
+// healthy; CheckWorkers probes them eagerly.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("fabric: no workers configured")
+	}
+	cfg = cfg.withDefaults()
+	c := &Coordinator{cfg: cfg}
+	for _, u := range cfg.Workers {
+		c.workers = append(c.workers, &worker{url: u, client: qoe.NewClient(u, cfg.HTTPClient), healthy: true})
+	}
+	c.vars = new(expvar.Map).Init()
+	c.vars.Set("jobs_dispatched", &c.jobsDispatched)
+	c.vars.Set("jobs_completed", &c.jobsCompleted)
+	c.vars.Set("shards_computed", &c.shardsComputed)
+	c.vars.Set("shard_retries", &c.shardRetries)
+	c.vars.Set("worker_failures", &c.workerFailures)
+	c.vars.Set("studies_reduced", &c.studiesReduced)
+	c.vars.Set("studies_failed", &c.studiesFailed)
+	c.vars.Set("studies_fell_back", &c.studiesFellBack)
+	c.vars.Set("workers", expvar.Func(func() any { return len(c.workers) }))
+	c.vars.Set("workers_healthy", expvar.Func(func() any {
+		n := 0
+		for _, w := range c.workers {
+			if ok, _ := w.state(); ok {
+				n++
+			}
+		}
+		return n
+	}))
+	return c, nil
+}
+
+// Vars returns the coordinator's expvar map for mounting under /metrics.
+func (c *Coordinator) Vars() expvar.Var { return c.vars }
+
+// WorkerStatus is one pool member's state as reported by
+// /v1/fabric/workers.
+type WorkerStatus struct {
+	URL      string `json:"url"`
+	Healthy  bool   `json:"healthy"`
+	Failures int64  `json:"failures"`
+}
+
+// WorkersStatus snapshots the pool for the fabric status endpoint.
+func (c *Coordinator) WorkersStatus() []WorkerStatus {
+	out := make([]WorkerStatus, len(c.workers))
+	for i, w := range c.workers {
+		ok, fails := w.state()
+		out[i] = WorkerStatus{URL: w.url, Healthy: ok, Failures: fails}
+	}
+	return out
+}
+
+// CheckWorkers probes every worker's /healthz, records the results, and
+// returns an error if no worker answers — the registration step a
+// coordinator runs at boot.
+func (c *Coordinator) CheckWorkers(ctx context.Context) error {
+	up := 0
+	for _, w := range c.workers {
+		ok := w.client.Healthy(ctx)
+		w.setHealthy(ok)
+		if ok {
+			up++
+		} else {
+			c.workerFailures.Add(1)
+			c.cfg.Logf("fabric: worker %s failed health check", w.url)
+		}
+	}
+	if up == 0 {
+		return fmt.Errorf("fabric: none of %d workers are healthy", len(c.workers))
+	}
+	c.cfg.Logf("fabric: %d/%d workers healthy", up, len(c.workers))
+	return nil
+}
+
+// Plan returns the deterministic sub-job split for one study at the
+// default tuple.
+func (c *Coordinator) Plan(study string) (Plan, error) {
+	return planStudy(study, c.cfg.Scale, c.cfg.Seed, len(c.workers), c.cfg.ShardsPerJob)
+}
+
+// planFor splits a study at an explicit tuple.
+func (c *Coordinator) planFor(study string, scale qoe.Scale, seed int64) (Plan, error) {
+	return planStudy(study, scale, seed, len(c.workers), c.cfg.ShardsPerJob)
+}
+
+// nextWorker picks a dispatch target: round-robin over healthy workers,
+// falling back to plain round-robin when none are marked healthy (so a
+// fully-degraded pool still gets retry probes instead of deadlocking).
+func (c *Coordinator) nextWorker() *worker {
+	c.rrMu.Lock()
+	defer c.rrMu.Unlock()
+	for i := 0; i < len(c.workers); i++ {
+		w := c.workers[c.rr%len(c.workers)]
+		c.rr++
+		if ok, _ := w.state(); ok {
+			return w
+		}
+	}
+	w := c.workers[c.rr%len(c.workers)]
+	c.rr++
+	return w
+}
+
+// runJob executes one sub-job with the retry policy: each attempt goes to
+// the next live worker; failures (connection death, truncated or garbled
+// stream, backpressure) mark the worker unhealthy, count a retry, and back
+// off — exponentially from Config.Backoff, or the server's Retry-After
+// hint on a 429 if longer. A success re-marks the worker healthy.
+func (c *Coordinator) runJob(ctx context.Context, plan Plan, r qoe.ShardRange) ([]qoe.ShardData, error) {
+	req := qoe.ShardRequest{Study: plan.Study, Scale: plan.Scale, Seed: plan.Seed, Range: r}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if attempt > 0 {
+			c.shardRetries.Add(1)
+			delay := c.cfg.Backoff << (attempt - 1)
+			var retryable *qoe.RetryableError
+			if errors.As(lastErr, &retryable) && retryable.RetryAfter > delay {
+				delay = retryable.RetryAfter
+			}
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		w := c.nextWorker()
+		c.jobsDispatched.Add(1)
+		data, err := w.client.RunShards(ctx, req)
+		if err == nil {
+			w.setHealthy(true)
+			c.jobsCompleted.Add(1)
+			c.shardsComputed.Add(int64(len(data)))
+			return data, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		lastErr = err
+		w.setHealthy(false)
+		c.workerFailures.Add(1)
+		c.cfg.Logf("fabric: shards %s attempt %d on %s failed: %v", r, attempt+1, w.url, err)
+	}
+	return nil, fmt.Errorf("fabric: shards %s failed after %d attempts: %w", r, c.cfg.MaxAttempts, lastErr)
+}
+
+// dispatch runs every sub-job of a plan with bounded in-flight concurrency
+// and returns the per-shard states in ascending shard order. The first
+// failed sub-job cancels the rest.
+func (c *Coordinator) dispatch(ctx context.Context, plan Plan) ([]qoe.ShardData, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	results := make([][]qoe.ShardData, len(plan.Jobs))
+	sem := make(chan struct{}, c.cfg.MaxInFlight)
+	var (
+		wg       sync.WaitGroup
+		errMu    sync.Mutex
+		firstErr error
+	)
+	for i, r := range plan.Jobs {
+		wg.Add(1)
+		go func(i int, r qoe.ShardRange) {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+				defer func() { <-sem }()
+			case <-ctx.Done():
+				return
+			}
+			data, err := c.runJob(ctx, plan, r)
+			if err != nil {
+				errMu.Lock()
+				if firstErr == nil && !errors.Is(err, context.Canceled) {
+					firstErr = err
+				}
+				errMu.Unlock()
+				cancel()
+				return
+			}
+			results[i] = data
+		}(i, r)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]qoe.ShardData, 0, plan.TotalShards)
+	for _, part := range results {
+		out = append(out, part...)
+	}
+	return out, nil
+}
+
+// tupleBackend is a Coordinator view pinned to one (scale, master seed) run
+// tuple — what a daemon hands each served session, since different sessions
+// serve different tuples over one shared coordinator.
+type tupleBackend struct {
+	c     *Coordinator
+	scale qoe.Scale
+	seed  int64 // master seed of the run
+}
+
+// ForTuple returns the coordinator's backend view for one run tuple.
+func (c *Coordinator) ForTuple(scale qoe.Scale, seed int64) experiments.PopulationBackend {
+	return tupleBackend{c: c, scale: scale, seed: seed}
+}
+
+// RunAB implements experiments.PopulationBackend at the Config default
+// tuple; see tupleBackend.RunAB.
+func (c *Coordinator) RunAB(ctx context.Context, cells []population.ABCell, cfg population.Config) (population.ABResult, error) {
+	return tupleBackend{c: c, scale: c.cfg.Scale, seed: c.cfg.Seed}.RunAB(ctx, cells, cfg)
+}
+
+// RunRating implements experiments.PopulationBackend at the Config default
+// tuple; see tupleBackend.RunRating.
+func (c *Coordinator) RunRating(ctx context.Context, cells []population.RatingCell, cfg population.Config) (population.RatingResult, error) {
+	return tupleBackend{c: c, scale: c.cfg.Scale, seed: c.cfg.Seed}.RunRating(ctx, cells, cfg)
+}
+
+// runStudy plans, dispatches, and collects one distributed study, returning
+// its raw shard states in ascending shard order.
+func (b tupleBackend) runStudy(ctx context.Context, study string) ([]qoe.ShardData, error) {
+	plan, err := b.c.planFor(study, b.scale, b.seed)
+	if err != nil {
+		return nil, err
+	}
+	data, err := b.c.dispatch(ctx, plan)
+	if err != nil {
+		b.c.studiesFailed.Add(1)
+		return nil, err
+	}
+	return data, nil
+}
+
+// RunAB distributes a canonical pop-ab engine call. A config that is not
+// the canonical pop-ab tuple for this view's master seed is run locally
+// instead — only the canonical study is sharded, so ad-hoc engine calls
+// (tests, sweeps, foreign tuples) can never be mis-distributed.
+func (b tupleBackend) RunAB(ctx context.Context, cells []population.ABCell, cfg population.Config) (population.ABResult, error) {
+	if cfg != experiments.PopABConfig(core.DeriveSeed(b.seed, qoe.StudyPopAB)) {
+		b.c.studiesFellBack.Add(1)
+		return population.RunAB(ctx, cells, cfg)
+	}
+	data, err := b.runStudy(ctx, qoe.StudyPopAB)
+	if err != nil {
+		return population.ABResult{}, err
+	}
+	states := make([]population.ABShardState, len(data))
+	for i, d := range data {
+		if err := json.Unmarshal(d.State, &states[i]); err != nil {
+			b.c.studiesFailed.Add(1)
+			return population.ABResult{}, fmt.Errorf("fabric: decoding shard %d state: %w", d.Shard, err)
+		}
+	}
+	res, err := population.ReduceAB(cells, cfg, states)
+	if err != nil {
+		b.c.studiesFailed.Add(1)
+		return population.ABResult{}, err
+	}
+	b.c.studiesReduced.Add(1)
+	return res, nil
+}
+
+// RunRating distributes a canonical pop-rating engine call, with the same
+// canonical-config guard as RunAB.
+func (b tupleBackend) RunRating(ctx context.Context, cells []population.RatingCell, cfg population.Config) (population.RatingResult, error) {
+	if cfg != experiments.PopRatingConfig(core.DeriveSeed(b.seed, qoe.StudyPopRating)) {
+		b.c.studiesFellBack.Add(1)
+		return population.RunRating(ctx, cells, cfg)
+	}
+	data, err := b.runStudy(ctx, qoe.StudyPopRating)
+	if err != nil {
+		return population.RatingResult{}, err
+	}
+	states := make([]population.RatingShardState, len(data))
+	for i, d := range data {
+		if err := json.Unmarshal(d.State, &states[i]); err != nil {
+			b.c.studiesFailed.Add(1)
+			return population.RatingResult{}, fmt.Errorf("fabric: decoding shard %d state: %w", d.Shard, err)
+		}
+	}
+	res, err := population.ReduceRating(cells, cfg, states)
+	if err != nil {
+		b.c.studiesFailed.Add(1)
+		return population.RatingResult{}, err
+	}
+	b.c.studiesReduced.Add(1)
+	return res, nil
+}
+
+// Backend returns the coordinator as the session-facing population backend
+// at the default tuple; it exists for call-site clarity
+// (qoe.WithPopulationBackend(f.Backend())).
+func (c *Coordinator) Backend() experiments.PopulationBackend { return c }

@@ -45,6 +45,33 @@ func benchRunAB(b *testing.B, workers int) {
 	b.ReportMetric(float64(votes), "votes/op")
 }
 
+// BenchmarkRunABTenMillion streams a 10^7-participant population — the
+// distributed fabric's target head-count — through the sharded engine in
+// one op. The point is linearity: ns/op here divided by ns/op of the 25k
+// benchmarks above tracks the participant ratio, and memory stays bounded
+// by the stimulus cells, so a cluster splitting the 64 shards splits this
+// wall-clock near-linearly (each shard is computed exactly once; see
+// BenchmarkFabricPopABDistributed for the coordination overhead).
+func BenchmarkRunABTenMillion(b *testing.B) {
+	b.ReportAllocs()
+	cells := testABCells()
+	cfg := Config{
+		Group:        study.Microworker,
+		Participants: 10_000_000,
+		Seed:         1,
+		Conformance:  true,
+	}
+	var votes int64
+	for i := 0; i < b.N; i++ {
+		res, err := RunAB(context.Background(), cells, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		votes = res.Votes
+	}
+	b.ReportMetric(float64(votes), "votes/op")
+}
+
 // BenchmarkRunRatingParallel measures the rating engine on all cores.
 func BenchmarkRunRatingParallel(b *testing.B) {
 	b.ReportAllocs()

@@ -355,6 +355,21 @@ func RunAB(ctx context.Context, cells []ABCell, cfg Config) (ABResult, error) {
 		return ABResult{}, fmt.Errorf("population: no A/B cells")
 	}
 	cfg = cfg.withDefaults()
+	shards, err := runABShards(ctx, cells, cfg, 0, cfg.Shards)
+	if err != nil {
+		return ABResult{}, err
+	}
+	return mergeABShards(cells, cfg, shards), nil
+}
+
+// runABShards computes the private aggregates of shards [first, last) — the
+// one code path every A/B run goes through, whether it spans the full shard
+// space (RunAB) or a sub-range a fabric worker was handed (RunABRange).
+// Shard indices are absolute: shard i draws seed shardSeed(cfg.Seed, i) and
+// participants shardRange(..., i) no matter which sub-range (or node) runs
+// it, which is the fabric's determinism contract. cfg must already be
+// normalized via withDefaults.
+func runABShards(ctx context.Context, cells []ABCell, cfg Config, first, last int) ([]abShard, error) {
 	votesPer := cfg.VotesPerParticipant
 	if votesPer <= 0 {
 		votesPer = study.PlanFor(cfg.Group).ABVideos
@@ -363,13 +378,19 @@ func RunAB(ctx context.Context, cells []ABCell, cfg Config) (ABResult, error) {
 	// One slab backs every shard's cell aggregates; per-worker scratch is
 	// pooled and reseeded per shard, so the participant loop below allocates
 	// nothing no matter the population size.
-	shards := make([]abShard, cfg.Shards)
-	cellSlab := make([]ABCellStats, cfg.Shards*len(cells))
+	n := last - first
+	shards := make([]abShard, n)
+	cellSlab := make([]ABCellStats, n*len(cells))
 	seeds := shardSeeds(cfg.Seed, cfg.Shards)
-	pool := newPopWorkers(cfg.Workers, len(cells))
-	err := runShards(ctx, cfg.Shards, cfg.Workers, func(si, wi int) error {
-		sh := &shards[si]
-		sh.cells = cellSlab[si*len(cells) : (si+1)*len(cells) : (si+1)*len(cells)]
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	pool := newPopWorkers(workers, len(cells))
+	err := runShards(ctx, n, workers, func(ri, wi int) error {
+		si := first + ri
+		sh := &shards[ri]
+		sh.cells = cellSlab[ri*len(cells) : (ri+1)*len(cells) : (ri+1)*len(cells)]
 		ws := &pool[wi]
 		rng := ws.rng
 		rng.Seed(seeds[si])
@@ -415,9 +436,17 @@ func RunAB(ctx context.Context, cells []ABCell, cfg Config) (ABResult, error) {
 		return nil
 	})
 	if err != nil {
-		return ABResult{}, err
+		return nil, err
 	}
+	return shards, nil
+}
 
+// mergeABShards folds per-shard aggregates — which must cover shards
+// 0..cfg.Shards-1 in ascending shard order — into the final result. The
+// merge order is part of the byte-identity contract: Welford's merge is not
+// associative in floating point, so a distributed reduce must replay exactly
+// this left fold.
+func mergeABShards(cells []ABCell, cfg Config, shards []abShard) ABResult {
 	res := ABResult{
 		Cells:        make([]ABCellStats, len(cells)),
 		Participants: cfg.Participants,
@@ -439,7 +468,7 @@ func RunAB(ctx context.Context, cells []ABCell, cfg Config) (ABResult, error) {
 	if cfg.Conformance {
 		res.Funnel = funnel.Funnel()
 	}
-	return res, nil
+	return res
 }
 
 // ratingShard holds one shard's private aggregates.
@@ -460,7 +489,18 @@ func RunRating(ctx context.Context, cells []RatingCell, cfg Config) (RatingResul
 		return RatingResult{}, fmt.Errorf("population: no rating cells")
 	}
 	cfg = cfg.withDefaults()
+	shards, err := runRatingShards(ctx, cells, cfg, 0, cfg.Shards)
+	if err != nil {
+		return RatingResult{}, err
+	}
+	return mergeRatingShards(cells, cfg, shards), nil
+}
 
+// runRatingShards computes the private aggregates of shards [first, last) —
+// the shared code path of full runs and fabric sub-range runs, with the same
+// absolute-shard seeding contract as runABShards. cfg must already be
+// normalized via withDefaults.
+func runRatingShards(ctx context.Context, cells []RatingCell, cfg Config, first, last int) ([]ratingShard, error) {
 	// Environment-local cell indices, in fixed environment order.
 	byEnv := map[study.Environment][]int{}
 	for i, c := range cells {
@@ -507,19 +547,25 @@ func RunRating(ctx context.Context, cells []RatingCell, cfg Config) (RatingResul
 	// whole run instead of three per shard × cell. Worker scratch is pooled
 	// and reseeded per shard, so the participant loop allocates nothing.
 	nc := len(cells)
-	shards := make([]ratingShard, cfg.Shards)
-	cellSlab := make([]RatingCellStats, cfg.Shards*nc)
-	histSlab := make([]stats.StreamHist, cfg.Shards*nc)
-	binSlab := make([]int64, cfg.Shards*nc*ratingHistBins)
+	n := last - first
+	shards := make([]ratingShard, n)
+	cellSlab := make([]RatingCellStats, n*nc)
+	histSlab := make([]stats.StreamHist, n*nc)
+	binSlab := make([]int64, n*nc*ratingHistBins)
 	seeds := shardSeeds(cfg.Seed, cfg.Shards)
-	pool := newPopWorkers(cfg.Workers, maxEnvCells)
+	workers := cfg.Workers
+	if workers > n {
+		workers = n
+	}
+	pool := newPopWorkers(workers, maxEnvCells)
 	envs := study.Environments() // hoisted: the accessor returns a fresh slice
-	err := runShards(ctx, cfg.Shards, cfg.Workers, func(si, wi int) error {
-		sh := &shards[si]
-		sh.cells = cellSlab[si*nc : (si+1)*nc : (si+1)*nc]
+	err := runShards(ctx, n, workers, func(ri, wi int) error {
+		si := first + ri
+		sh := &shards[ri]
+		sh.cells = cellSlab[ri*nc : (ri+1)*nc : (ri+1)*nc]
 		for i, c := range cells {
-			h := &histSlab[si*nc+i]
-			bo := (si*nc + i) * ratingHistBins
+			h := &histSlab[ri*nc+i]
+			bo := (ri*nc + i) * ratingHistBins
 			h.Init(study.RatingMin, study.RatingMax, binSlab[bo:bo+ratingHistBins:bo+ratingHistBins])
 			sh.cells[i] = RatingCellStats{Label: c.Label, Env: c.Env, Hist: h}
 		}
@@ -559,9 +605,15 @@ func RunRating(ctx context.Context, cells []RatingCell, cfg Config) (RatingResul
 		return nil
 	})
 	if err != nil {
-		return RatingResult{}, err
+		return nil, err
 	}
+	return shards, nil
+}
 
+// mergeRatingShards folds per-shard aggregates — covering shards
+// 0..cfg.Shards-1 in ascending shard order — into the final result; see
+// mergeABShards for why the order is load-bearing.
+func mergeRatingShards(cells []RatingCell, cfg Config, shards []ratingShard) RatingResult {
 	res := RatingResult{
 		Cells:        make([]RatingCellStats, len(cells)),
 		Participants: cfg.Participants,
@@ -583,5 +635,5 @@ func RunRating(ctx context.Context, cells []RatingCell, cfg Config) (RatingResul
 	if cfg.Conformance {
 		res.Funnel = funnel.Funnel()
 	}
-	return res, nil
+	return res
 }

@@ -1,0 +1,242 @@
+package population
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/conformance"
+	"repro/internal/stats"
+	"repro/internal/study"
+)
+
+// This file is the population engine's distribution surface: shard-range
+// sub-studies plus wire-encodable per-shard aggregates and the reduction
+// that folds them back. The contract the fabric builds on:
+//
+//   - Shard indices are absolute. RunABRange(cells, cfg, {Lo: 8, Hi: 16})
+//     computes exactly the bytes shards 8..15 of RunAB(cells, cfg) would —
+//     same per-shard seeds (core.DeriveSeed("pop-shard/i")), same
+//     participant ranges — no matter which process (or machine) runs it.
+//   - Per-shard aggregates travel as JSON-taggable states. encoding/json
+//     round-trips float64 exactly (shortest-repr formatting), so imported
+//     states carry the same bits as the in-memory originals.
+//   - ReduceAB/ReduceRating replay the exact left fold RunAB/RunRating
+//     perform: shards 0..Shards-1 merged in ascending order. Welford's merge
+//     is not associative in floating point, so the coordinator must ship
+//     per-shard states (not pre-merged ranges) and reduce them in order;
+//     that is what makes a distributed run byte-identical to a single-node
+//     run at any cluster size.
+
+// ShardRange is a half-open range [Lo, Hi) of absolute shard indices.
+type ShardRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Count returns the number of shards in the range.
+func (r ShardRange) Count() int { return r.Hi - r.Lo }
+
+func (r ShardRange) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// validate checks the range against a normalized shard count.
+func (r ShardRange) validate(shards int) error {
+	if r.Lo < 0 || r.Hi <= r.Lo || r.Hi > shards {
+		return fmt.Errorf("population: shard range %s invalid for %d shards", r, shards)
+	}
+	return nil
+}
+
+// Normalize applies the engine's defaulting rules (population size, shard
+// count, worker clamp) and returns the effective configuration. Coordinators
+// and workers normalize independently and must agree on everything but
+// Workers — Normalize is exported so both sides (and tests) can pin that.
+func (c Config) Normalize() Config { return c.withDefaults() }
+
+// ABCellState is the wire form of one shard's ABCellStats.
+type ABCellState struct {
+	VotesA     int64              `json:"votes_a"`
+	VotesB     int64              `json:"votes_b"`
+	VotesNone  int64              `json:"votes_none"`
+	Confidence stats.WelfordState `json:"confidence"`
+	Replays    stats.WelfordState `json:"replays"`
+}
+
+// ABShardState is the wire form of one A/B shard's private aggregates.
+type ABShardState struct {
+	Shard  int                     `json:"shard"`
+	Kept   int64                   `json:"kept"`
+	Votes  int64                   `json:"votes"`
+	Cells  []ABCellState           `json:"cells"`
+	Funnel conformance.FunnelState `json:"funnel"`
+}
+
+// RatingCellState is the wire form of one shard's RatingCellStats.
+type RatingCellState struct {
+	Speed   stats.WelfordState    `json:"speed"`
+	Quality stats.WelfordState    `json:"quality"`
+	Hist    stats.StreamHistState `json:"hist"`
+}
+
+// RatingShardState is the wire form of one rating shard's private
+// aggregates.
+type RatingShardState struct {
+	Shard  int                     `json:"shard"`
+	Kept   int64                   `json:"kept"`
+	Votes  int64                   `json:"votes"`
+	Cells  []RatingCellState       `json:"cells"`
+	Funnel conformance.FunnelState `json:"funnel"`
+}
+
+// RunABRange computes the A/B aggregates of the shards in r only, returning
+// one wire-encodable state per shard in ascending shard order. The absolute
+// seeding contract makes the result independent of which node runs it.
+func RunABRange(ctx context.Context, cells []ABCell, cfg Config, r ShardRange) ([]ABShardState, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("population: no A/B cells")
+	}
+	cfg = cfg.withDefaults()
+	if err := r.validate(cfg.Shards); err != nil {
+		return nil, err
+	}
+	shards, err := runABShards(ctx, cells, cfg, r.Lo, r.Hi)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ABShardState, len(shards))
+	for i := range shards {
+		sh := &shards[i]
+		st := ABShardState{
+			Shard:  r.Lo + i,
+			Kept:   sh.kept,
+			Votes:  sh.votes,
+			Cells:  make([]ABCellState, len(sh.cells)),
+			Funnel: sh.funnel.State(),
+		}
+		for ci := range sh.cells {
+			c := &sh.cells[ci]
+			st.Cells[ci] = ABCellState{
+				VotesA:     c.VotesA,
+				VotesB:     c.VotesB,
+				VotesNone:  c.VotesNone,
+				Confidence: c.Confidence.State(),
+				Replays:    c.Replays.State(),
+			}
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// RunRatingRange is RunABRange's counterpart for the rating design.
+func RunRatingRange(ctx context.Context, cells []RatingCell, cfg Config, r ShardRange) ([]RatingShardState, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("population: no rating cells")
+	}
+	cfg = cfg.withDefaults()
+	if err := r.validate(cfg.Shards); err != nil {
+		return nil, err
+	}
+	shards, err := runRatingShards(ctx, cells, cfg, r.Lo, r.Hi)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]RatingShardState, len(shards))
+	for i := range shards {
+		sh := &shards[i]
+		st := RatingShardState{
+			Shard:  r.Lo + i,
+			Kept:   sh.kept,
+			Votes:  sh.votes,
+			Cells:  make([]RatingCellState, len(sh.cells)),
+			Funnel: sh.funnel.State(),
+		}
+		for ci := range sh.cells {
+			c := &sh.cells[ci]
+			st.Cells[ci] = RatingCellState{
+				Speed:   c.Speed.State(),
+				Quality: c.Quality.State(),
+				Hist:    c.Hist.State(),
+			}
+		}
+		out[i] = st
+	}
+	return out, nil
+}
+
+// ReduceAB folds wire states — which must cover shards 0..Shards-1 exactly
+// once, in ascending order — into the final result, byte-identical to the
+// RunAB that would have computed all shards locally. A gap, duplicate, or
+// shape mismatch is an error, never a silent partial result.
+func ReduceAB(cells []ABCell, cfg Config, states []ABShardState) (ABResult, error) {
+	cfg = cfg.withDefaults()
+	if len(states) != cfg.Shards {
+		return ABResult{}, fmt.Errorf("population: reduce has %d shard states, want %d", len(states), cfg.Shards)
+	}
+	shards := make([]abShard, cfg.Shards)
+	cellSlab := make([]ABCellStats, cfg.Shards*len(cells))
+	for i := range states {
+		st := &states[i]
+		if st.Shard != i {
+			return ABResult{}, fmt.Errorf("population: reduce expected shard %d, got %d (states must be ascending and complete)", i, st.Shard)
+		}
+		if len(st.Cells) != len(cells) {
+			return ABResult{}, fmt.Errorf("population: shard %d carries %d cells, want %d", i, len(st.Cells), len(cells))
+		}
+		sh := &shards[i]
+		sh.kept, sh.votes = st.Kept, st.Votes
+		if err := sh.funnel.Import(st.Funnel); err != nil {
+			return ABResult{}, fmt.Errorf("population: shard %d: %w", i, err)
+		}
+		sh.cells = cellSlab[i*len(cells) : (i+1)*len(cells)]
+		for ci := range st.Cells {
+			cs := &st.Cells[ci]
+			c := &sh.cells[ci]
+			c.VotesA, c.VotesB, c.VotesNone = cs.VotesA, cs.VotesB, cs.VotesNone
+			c.Confidence.Import(cs.Confidence)
+			c.Replays.Import(cs.Replays)
+		}
+	}
+	return mergeABShards(cells, cfg, shards), nil
+}
+
+// ReduceRating is ReduceAB's counterpart for the rating design.
+func ReduceRating(cells []RatingCell, cfg Config, states []RatingShardState) (RatingResult, error) {
+	cfg = cfg.withDefaults()
+	if len(states) != cfg.Shards {
+		return RatingResult{}, fmt.Errorf("population: reduce has %d shard states, want %d", len(states), cfg.Shards)
+	}
+	nc := len(cells)
+	shards := make([]ratingShard, cfg.Shards)
+	cellSlab := make([]RatingCellStats, cfg.Shards*nc)
+	histSlab := make([]stats.StreamHist, cfg.Shards*nc)
+	binSlab := make([]int64, cfg.Shards*nc*ratingHistBins)
+	for i := range states {
+		st := &states[i]
+		if st.Shard != i {
+			return RatingResult{}, fmt.Errorf("population: reduce expected shard %d, got %d (states must be ascending and complete)", i, st.Shard)
+		}
+		if len(st.Cells) != nc {
+			return RatingResult{}, fmt.Errorf("population: shard %d carries %d cells, want %d", i, len(st.Cells), nc)
+		}
+		sh := &shards[i]
+		sh.kept, sh.votes = st.Kept, st.Votes
+		if err := sh.funnel.Import(st.Funnel); err != nil {
+			return RatingResult{}, fmt.Errorf("population: shard %d: %w", i, err)
+		}
+		sh.cells = cellSlab[i*nc : (i+1)*nc]
+		for ci := range st.Cells {
+			cs := &st.Cells[ci]
+			h := &histSlab[i*nc+ci]
+			bo := (i*nc + ci) * ratingHistBins
+			h.Init(study.RatingMin, study.RatingMax, binSlab[bo:bo+ratingHistBins:bo+ratingHistBins])
+			if err := h.Import(cs.Hist); err != nil {
+				return RatingResult{}, fmt.Errorf("population: shard %d cell %d: %w", i, ci, err)
+			}
+			c := &sh.cells[ci]
+			c.Hist = h
+			c.Speed.Import(cs.Speed)
+			c.Quality.Import(cs.Quality)
+		}
+	}
+	return mergeRatingShards(cells, cfg, shards), nil
+}

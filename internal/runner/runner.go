@@ -53,6 +53,10 @@ type Options struct {
 	// Format selects text (default), csv, or json output, or none to skip
 	// encoding entirely.
 	Format Format
+	// Population, when non-nil, is handed to every experiment so the
+	// canonical pop-* engine calls can run out of process (the distributed
+	// study fabric). Nil keeps them in process.
+	Population experiments.PopulationBackend
 }
 
 // ExperimentReport is the outcome of one experiment in a batch.
@@ -319,7 +323,7 @@ func RunContext(ctx context.Context, exps []experiments.Experiment, opts Options
 func runOne(ctx context.Context, tb *core.Testbed, e experiments.Experiment, opts Options) (ExperimentReport, experiments.Result) {
 	out := ExperimentReport{Name: e.Name(), Seed: core.DeriveSeed(opts.Seed, e.Name())}
 
-	res, err := e.Run(ctx, tb, experiments.Options{Scale: opts.Scale, Seed: out.Seed})
+	res, err := e.Run(ctx, tb, experiments.Options{Scale: opts.Scale, Seed: out.Seed, Population: opts.Population})
 	if err != nil {
 		out.Err = err
 		return out, nil

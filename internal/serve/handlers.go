@@ -33,6 +33,10 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleRunStatus)
 	mux.HandleFunc("GET /v1/runs/{id}/stream", s.handleRunStream)
 	mux.HandleFunc("GET /v1/run", s.handleOneShot)
+	mux.HandleFunc("GET /v1/shard", s.handleShard)
+	if s.cfg.Fabric != nil {
+		mux.HandleFunc("GET /v1/fabric/workers", s.handleFabricWorkers)
+	}
 	return mux
 }
 
@@ -308,6 +312,53 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 	// (subscription bookkeeping is moot on a finished run), which is
 	// exactly what a client chasing a known run ID should see.
 	s.streamJob(w, r, j, j.attach(false))
+}
+
+// handleShard is GET /v1/shard?study=...&scale=...&seed=...&lo=...&hi=...:
+// the worker endpoint of the distributed study fabric. It streams the
+// per-shard aggregate states of one shard range as NDJSON (see
+// qoe.ShardEvent) through the same admission, singleflight, and cache
+// machinery as full runs — a coordinator retrying a range it already
+// fetched replays cached bytes, and a saturated worker answers 429 with
+// Retry-After. Jobs are ephemeral: a coordinator that disconnects
+// mid-range cancels the abandoned computation.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	seed, err := parseSeed(q.Get("seed"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	lo, err := strconv.Atoi(q.Get("lo"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("serve: bad shard lo %q", q.Get("lo"))})
+		return
+	}
+	hi, err := strconv.Atoi(q.Get("hi"))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("serve: bad shard hi %q", q.Get("hi"))})
+		return
+	}
+	spec, err := CanonicalizeShard(q.Get("study"), q.Get("scale"), seed, lo, hi)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
+		return
+	}
+	adm, err := s.admit(spec, true)
+	if err != nil {
+		s.writeAdmitError(w, err)
+		return
+	}
+	s.streamAdmission(w, r, adm)
+}
+
+// handleFabricWorkers is GET /v1/fabric/workers on a coordinator daemon:
+// the worker pool's registration and health state.
+func (s *Server) handleFabricWorkers(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"schema_version": qoe.SchemaVersion,
+		"workers":        s.cfg.Fabric.WorkersStatus(),
+	})
 }
 
 // handleOneShot is GET /v1/run?experiments=...&scenarios=...&scale=...&seed=...:

@@ -54,6 +54,11 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("cache_entries", expvar.Func(func() any { return s.cache.entries() }))
 	m.vars.Set("cache_evictions", expvar.Func(func() any { return s.cache.evicted() }))
 	m.vars.Set("workers", expvar.Func(func() any { return s.cfg.Workers }))
+	if s.cfg.Fabric != nil {
+		// The coordinator's counters (shard retries, worker failures, …)
+		// surface under one "fabric" key so a smoke test can assert them.
+		m.vars.Set("fabric", s.cfg.Fabric.Vars())
+	}
 	return m
 }
 

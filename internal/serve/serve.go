@@ -37,6 +37,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/pkg/qoe"
 )
 
@@ -55,6 +56,14 @@ type Config struct {
 	RetryAfter time.Duration
 	// Logf, when set, receives one line per run lifecycle event.
 	Logf func(format string, args ...any)
+	// Population, when set, routes the canonical pop-* engine calls of
+	// every served session through it — a coordinator daemon sets it to a
+	// fabric.Coordinator so served studies execute on the worker pool.
+	Population qoe.PopulationBackend
+	// Fabric, when set, mounts the coordinator's observability surface:
+	// its counters under "fabric" in /metrics and the worker pool at
+	// GET /v1/fabric/workers.
+	Fabric *fabric.Coordinator
 }
 
 func (c Config) withDefaults() Config {
@@ -81,19 +90,38 @@ func (c Config) withDefaults() Config {
 
 // runFunc executes one canonical run, streaming its NDJSON bytes into w. It
 // is a seam for tests (counting invocations, injecting slow or failing runs);
-// production servers use defaultRun.
+// production servers use (*Server).defaultRun.
 type runFunc func(ctx context.Context, spec RunSpec, w io.Writer) error
 
-// defaultRun executes the spec through a fresh qoe.Session. Parallelism is
-// pinned to 1 so the emitted stream is deterministic end to end — the
-// property broadcast and cache replay turn into byte-identical responses.
-func defaultRun(ctx context.Context, spec RunSpec, w io.Writer) error {
-	sess, err := qoe.NewSession(
+// defaultRun executes the spec: shard sub-jobs through the shard executor
+// (streaming per-shard aggregate states), full specs through a fresh
+// qoe.Session. Session parallelism is pinned to 1 so the emitted stream is
+// deterministic end to end — the property broadcast and cache replay turn
+// into byte-identical responses.
+func (s *Server) defaultRun(ctx context.Context, spec RunSpec, w io.Writer) error {
+	if spec.Shard != nil {
+		return s.shardExec.Run(ctx, qoe.ShardRequest{
+			Study: spec.Shard.Study,
+			Scale: spec.Scale,
+			Seed:  spec.Seed,
+			Range: spec.Shard.Range,
+		}, w)
+	}
+	opts := []qoe.Option{
 		qoe.WithScenarios(spec.Experiments...),
 		qoe.WithScale(spec.Scale),
 		qoe.WithSeed(spec.Seed),
 		qoe.WithParallelism(1),
-	)
+	}
+	switch {
+	case s.cfg.Fabric != nil:
+		// Each run pins the coordinator to its own (scale, master seed)
+		// tuple, so one daemon distributes any tuple it serves.
+		opts = append(opts, qoe.WithPopulationBackend(s.cfg.Fabric.ForTuple(spec.Scale, spec.Seed)))
+	case s.cfg.Population != nil:
+		opts = append(opts, qoe.WithPopulationBackend(s.cfg.Population))
+	}
+	sess, err := qoe.NewSession(opts...)
 	if err != nil {
 		return err
 	}
@@ -105,11 +133,12 @@ func defaultRun(ctx context.Context, spec RunSpec, w io.Writer) error {
 // the HTTP API over them. Create with New, serve via ServeHTTP (it is an
 // http.Handler), and always Shutdown (or Close) to stop the workers.
 type Server struct {
-	cfg   Config
-	mux   *http.ServeMux
-	cache *resultCache
-	met   *metrics
-	runFn runFunc
+	cfg       Config
+	mux       *http.ServeMux
+	cache     *resultCache
+	met       *metrics
+	runFn     runFunc
+	shardExec *qoe.ShardExecutor
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -164,14 +193,15 @@ type doneOrderEntry struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		cache:  newResultCache(cfg.CacheBytes),
-		live:   map[string]*job{},
-		failed: map[string]*job{},
-		done:   map[string]doneRecord{},
-		queue:  make(chan *job, cfg.QueueDepth),
-		runFn:  defaultRun,
+		cfg:       cfg,
+		cache:     newResultCache(cfg.CacheBytes),
+		live:      map[string]*job{},
+		failed:    map[string]*job{},
+		done:      map[string]doneRecord{},
+		queue:     make(chan *job, cfg.QueueDepth),
+		shardExec: qoe.NewShardExecutor(2),
 	}
+	s.runFn = s.defaultRun
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.met = newMetrics(s)
 	s.mux = s.routes()

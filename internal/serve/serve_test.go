@@ -232,7 +232,9 @@ func TestSingleflightDedup(t *testing.T) {
 	gated := func(ctx context.Context, spec RunSpec, w io.Writer) error {
 		invocations.Add(1)
 		<-release
-		return defaultRun(ctx, spec, w)
+		// A zero-config Server's defaultRun is the plain session path; the
+		// gated seam only needs the reference runner, not this server's.
+		return new(Server).defaultRun(ctx, spec, w)
 	}
 	s, ts := newTestServer(t, Config{Workers: 2}, gated)
 

@@ -22,6 +22,20 @@ type RunSpec struct {
 	Experiments []string
 	Scale       qoe.Scale
 	Seed        int64
+	// Shard, when non-nil, makes this a shard-range sub-job of one canonical
+	// population study instead of a full session run: the job streams
+	// per-shard aggregate states (the fabric wire format) rather than run
+	// events. Seed is the MASTER seed; the worker derives the study seed.
+	// Shard sub-jobs ride the same singleflight table, result cache, and
+	// admission queue as full runs — a retried shard range replays cached
+	// bytes, and a saturated worker sheds shard jobs with the same 429.
+	Shard *ShardSpec
+}
+
+// ShardSpec identifies the study and shard range of a shard sub-job.
+type ShardSpec struct {
+	Study string
+	Range qoe.ShardRange
 }
 
 // Canonicalize resolves a raw selection into the canonical RunSpec the job
@@ -77,7 +91,35 @@ func (s RunSpec) Key() string {
 		}
 		b.WriteString(e)
 	}
+	if s.Shard != nil {
+		b.WriteString("|shard=")
+		b.WriteString(s.Shard.Study)
+		b.WriteByte(':')
+		b.Write(strconv.AppendInt(tmp[:0], int64(s.Shard.Range.Lo), 10))
+		b.WriteByte('-')
+		b.Write(strconv.AppendInt(tmp[:0], int64(s.Shard.Range.Hi), 10))
+	}
 	return b.String()
+}
+
+// CanonicalizeShard builds the canonical RunSpec of a shard-range sub-job,
+// validating the study name, scale, and range bounds against the study's
+// canonical shard count.
+func CanonicalizeShard(study, scale string, seed int64, lo, hi int) (RunSpec, error) {
+	total, err := qoe.StudyShards(study)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	if lo < 0 || hi <= lo || hi > total {
+		return RunSpec{}, fmt.Errorf("serve: shard range [%d,%d) invalid for %d shards of %s", lo, hi, total, study)
+	}
+	sc := qoe.ScaleQuick
+	if scale != "" {
+		if sc, err = qoe.ParseScale(scale); err != nil {
+			return RunSpec{}, err
+		}
+	}
+	return RunSpec{Scale: sc, Seed: seed, Shard: &ShardSpec{Study: study, Range: qoe.ShardRange{Lo: lo, Hi: hi}}}, nil
 }
 
 // ID is the content address derived from Key: 128 bits of its SHA-256, hex

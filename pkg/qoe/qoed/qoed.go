@@ -19,9 +19,18 @@
 // byte-compatible with `qoebench -stream -parallel 1` for the same tuple.
 // See EXPERIMENTS.md ("Serving studies with qoed") for the API walkthrough
 // and backpressure semantics.
+// For distributed studies the daemon plays one of two extra roles (see
+// EXPERIMENTS.md "Distributed studies"): a WORKER serves shard-range
+// sub-jobs at GET /v1/shard, and a COORDINATOR — built with NewFabric and a
+// Config whose Population/Fabric fields carry the coordinator — splits each
+// canonical pop-* study across its worker pool and reduces the returned
+// aggregates into the byte-identical single-node stream.
 package qoed
 
-import "repro/internal/serve"
+import (
+	"repro/internal/fabric"
+	"repro/internal/serve"
+)
 
 // Config sizes a Server: worker pool, admission queue, result-cache byte
 // budget, Retry-After hint, and an optional log function. Zero values take
@@ -46,3 +55,32 @@ func New(cfg Config) *Server { return serve.New(cfg) }
 func Canonicalize(experiments, scenarios []string, scale string, seed int64) (RunSpec, error) {
 	return serve.Canonicalize(experiments, scenarios, scale, seed)
 }
+
+// CanonicalizeShard builds the canonical RunSpec of one shard-range
+// sub-job of a population study (the tuple behind GET /v1/shard).
+func CanonicalizeShard(study, scale string, seed int64, lo, hi int) (RunSpec, error) {
+	return serve.CanonicalizeShard(study, scale, seed, lo, hi)
+}
+
+// FabricConfig configures a distributed-study coordinator: the worker pool
+// URLs, the (scale, master seed) tuple it serves, and the dispatch/retry
+// policy.
+type FabricConfig = fabric.Config
+
+// Fabric is the coordinator: it splits canonical pop-* studies into
+// shard-range sub-jobs, dispatches them across the worker pool with bounded
+// in-flight jobs and retry-with-backoff, and reduces the results in shard
+// order — byte-identical to a single-node run. It implements
+// qoe.PopulationBackend; wire it into a daemon via Config.Population and
+// Config.Fabric, or into a local session via qoe.WithPopulationBackend.
+type Fabric = fabric.Coordinator
+
+// FabricPlan is the deterministic sub-job split of one study.
+type FabricPlan = fabric.Plan
+
+// FabricWorkerStatus is one pool member's health as reported by
+// GET /v1/fabric/workers.
+type FabricWorkerStatus = fabric.WorkerStatus
+
+// NewFabric builds a coordinator over a worker pool.
+func NewFabric(cfg FabricConfig) (*Fabric, error) { return fabric.New(cfg) }

@@ -56,12 +56,13 @@ func (s Scale) testbedScale() (core.Scale, error) {
 // times; each Run constructs a fresh shared testbed, so runs never leak
 // state into each other.
 type Session struct {
-	scenarios []string
-	exps      []experiments.Experiment
-	scale     core.Scale
-	scaleName Scale
-	seed      int64
-	parallel  int
+	scenarios  []string
+	exps       []experiments.Experiment
+	scale      core.Scale
+	scaleName  Scale
+	seed       int64
+	parallel   int
+	population experiments.PopulationBackend
 }
 
 // Option configures a Session under construction.
@@ -99,6 +100,23 @@ func WithParallelism(n int) Option {
 			return fmt.Errorf("qoe: negative parallelism %d", n)
 		}
 		s.parallel = n
+		return nil
+	}
+}
+
+// PopulationBackend is an alternative engine for the canonical pop-ab /
+// pop-rating population runs (see qoed.NewFabric for the distributed one).
+type PopulationBackend = experiments.PopulationBackend
+
+// WithPopulationBackend routes the canonical pop-ab / pop-rating engine
+// calls through backend — typically a distributed study fabric coordinator
+// that shards them across qoed workers — instead of running them in process.
+// Everything around the engine call is unchanged, so the session's event
+// stream stays byte-identical to an in-process run; nil (the default) keeps
+// the engine local.
+func WithPopulationBackend(backend PopulationBackend) Option {
+	return func(s *Session) error {
+		s.population = backend
 		return nil
 	}
 }
@@ -209,10 +227,11 @@ func (s *Session) Run(ctx context.Context, sink Sink) (Summary, error) {
 	rows := 0
 
 	rep := runner.RunContext(runCtx, s.exps, runner.Options{
-		Scale:    s.scale,
-		Seed:     s.seed,
-		Parallel: s.parallel,
-		Format:   runner.None,
+		Scale:      s.scale,
+		Seed:       s.seed,
+		Parallel:   s.parallel,
+		Format:     runner.None,
+		Population: s.population,
 	}, runner.Hooks{
 		Progress: func(p runner.Progress) {
 			emit(func() error {

@@ -1,0 +1,289 @@
+package qoe
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"strconv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/population"
+)
+
+// This file is the worker half of the distributed study fabric: the wire
+// protocol a coordinator uses to run a shard range of a canonical pop-*
+// study on a remote qoed worker, the client call that consumes it, and the
+// executor the daemon mounts to serve it.
+//
+// The determinism contract: a shard request carries the MASTER seed and the
+// study name; the worker re-derives the experiment seed exactly as the batch
+// runner does (core.DeriveSeed(master, study)) and rebuilds the stimulus
+// cells from its own testbed, whose per-condition recordings are themselves
+// derived from the master seed. Shard indices are absolute, so shard i's
+// returned aggregate state is byte-identical no matter which worker computed
+// it — that is what lets a coordinator retry lost shards on any survivor.
+
+// The two studies the shard protocol can split: the canonical population
+// runs. pop-sweep is excluded by design (its panels use per-step derived
+// seeds and a non-canonical config).
+const (
+	StudyPopAB     = "pop-ab"
+	StudyPopRating = "pop-rating"
+)
+
+// StudyShards returns the canonical shard count of a study's population
+// run — the shard space a coordinator splits and a reduction must cover.
+func StudyShards(study string) (int, error) {
+	switch study {
+	case StudyPopAB:
+		return experiments.PopABConfig(0).Normalize().Shards, nil
+	case StudyPopRating:
+		return experiments.PopRatingConfig(0).Normalize().Shards, nil
+	}
+	return 0, fmt.Errorf("qoe: unknown shard study %q (have: %s, %s)", study, StudyPopAB, StudyPopRating)
+}
+
+// ShardRange is a half-open range [Lo, Hi) of absolute population shard
+// indices (the engine's canonical runs use 64 shards).
+type ShardRange struct {
+	Lo int `json:"lo"`
+	Hi int `json:"hi"`
+}
+
+// Count returns the number of shards in the range.
+func (r ShardRange) Count() int { return r.Hi - r.Lo }
+
+func (r ShardRange) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) }
+
+// ShardRequest names one shard-range sub-job of a canonical population
+// study.
+type ShardRequest struct {
+	Study string     `json:"study"` // StudyPopAB or StudyPopRating
+	Scale Scale      `json:"scale"`
+	Seed  int64      `json:"seed"` // master seed; the worker derives the rest
+	Range ShardRange `json:"range"`
+}
+
+func (r ShardRequest) query() url.Values {
+	q := url.Values{}
+	q.Set("study", r.Study)
+	if r.Scale != "" {
+		q.Set("scale", string(r.Scale))
+	}
+	q.Set("seed", strconv.FormatInt(r.Seed, 10))
+	q.Set("lo", strconv.Itoa(r.Range.Lo))
+	q.Set("hi", strconv.Itoa(r.Range.Hi))
+	return q
+}
+
+// ShardEvent is one line of the shard-run NDJSON stream: a per-shard
+// aggregate state ("shard") or the closing "shard_summary". State is kept
+// raw at this layer; the coordinator decodes it against the study's state
+// type (population.ABShardState / RatingShardState) at reduce time.
+type ShardEvent struct {
+	Type          string          `json:"type"`
+	SchemaVersion int             `json:"schema_version"`
+	Study         string          `json:"study"`
+	Shard         int             `json:"shard,omitempty"`
+	State         json.RawMessage `json:"state,omitempty"`
+	// Summary fields (type "shard_summary").
+	Range  *ShardRange `json:"range,omitempty"`
+	Shards int         `json:"shards,omitempty"`
+}
+
+// ShardData is one shard's aggregate state as returned by RunShards.
+type ShardData struct {
+	Shard int
+	State json.RawMessage
+}
+
+// ErrTruncatedShardStream reports a shard stream that ended without its
+// closing shard_summary — a died worker, a dropped connection, or a
+// server-side failure. The fabric treats it as retryable.
+var ErrTruncatedShardStream = fmt.Errorf("qoe: shard stream ended without shard_summary")
+
+// RunShards executes one shard-range sub-job on a remote worker
+// (GET /v1/shard) and returns the per-shard aggregate states in ascending
+// shard order. The stream is validated strictly — schema version, study
+// echo, contiguous shard indices covering exactly req.Range, and the
+// closing summary — so a garbled or truncated response surfaces as an error
+// here rather than as a silent gap at reduce time. A *RetryableError
+// reports worker backpressure (HTTP 429/503).
+func (c *Client) RunShards(ctx context.Context, req ShardRequest) ([]ShardData, error) {
+	resp, err := c.get(ctx, "/v1/shard?"+req.query().Encode())
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+
+	out := make([]ShardData, 0, req.Range.Count())
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	next := req.Range.Lo
+	closed := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if closed {
+			return nil, fmt.Errorf("qoe: shard stream continues after shard_summary")
+		}
+		var ev ShardEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return nil, fmt.Errorf("qoe: garbled shard stream line: %w", err)
+		}
+		if ev.SchemaVersion != SchemaVersion {
+			return nil, fmt.Errorf("qoe: shard stream speaks schema_version %d, this client %d", ev.SchemaVersion, SchemaVersion)
+		}
+		if ev.Study != req.Study {
+			return nil, fmt.Errorf("qoe: shard stream for study %q, requested %q", ev.Study, req.Study)
+		}
+		switch ev.Type {
+		case "shard":
+			if ev.Shard != next {
+				return nil, fmt.Errorf("qoe: shard stream expected shard %d, got %d", next, ev.Shard)
+			}
+			if len(ev.State) == 0 {
+				return nil, fmt.Errorf("qoe: shard %d arrived without state", ev.Shard)
+			}
+			out = append(out, ShardData{Shard: ev.Shard, State: append(json.RawMessage(nil), ev.State...)})
+			next++
+		case "shard_summary":
+			if ev.Range == nil || *ev.Range != req.Range || ev.Shards != req.Range.Count() || next != req.Range.Hi {
+				return nil, fmt.Errorf("qoe: shard_summary accounts for %d shards of %v, want %d of %v",
+					ev.Shards, ev.Range, req.Range.Count(), req.Range)
+			}
+			closed = true
+		default:
+			return nil, fmt.Errorf("qoe: unknown shard stream event %q", ev.Type)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, fmt.Errorf("qoe: reading shard stream: %w", err)
+	}
+	if !closed {
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+		return nil, ErrTruncatedShardStream
+	}
+	return out, nil
+}
+
+// ShardExecutor computes shard-range sub-jobs on a worker: it rebuilds the
+// study's stimulus cells from a (scale, master seed) testbed and streams the
+// per-shard aggregate states as NDJSON. Testbeds are cached and bounded —
+// one coordinator drives many shard requests against the same tuple, and
+// the testbed's recording cache is what makes request N cheap — and safe
+// for concurrent use, so one executor serves all of a worker's requests.
+type ShardExecutor struct {
+	mu       sync.Mutex
+	testbeds map[string]*core.Testbed
+	order    []string // FIFO eviction order for the bounded cache
+	max      int
+}
+
+// NewShardExecutor returns an executor caching at most maxTestbeds testbeds
+// (minimum 1; a typical worker serves one (scale, seed) tuple at a time).
+func NewShardExecutor(maxTestbeds int) *ShardExecutor {
+	if maxTestbeds < 1 {
+		maxTestbeds = 1
+	}
+	return &ShardExecutor{testbeds: make(map[string]*core.Testbed), max: maxTestbeds}
+}
+
+func (e *ShardExecutor) testbed(scale core.Scale, scaleName Scale, seed int64) *core.Testbed {
+	key := string(scaleName) + "|" + strconv.FormatInt(seed, 10)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if tb, ok := e.testbeds[key]; ok {
+		return tb
+	}
+	for len(e.order) >= e.max {
+		delete(e.testbeds, e.order[0])
+		e.order = e.order[1:]
+	}
+	tb := core.NewTestbed(scale, seed)
+	e.testbeds[key] = tb
+	e.order = append(e.order, key)
+	return tb
+}
+
+// Run executes one shard-range sub-job and writes its NDJSON stream to w:
+// one "shard" line per shard in ascending order, then the "shard_summary".
+// Request validation errors are returned before any byte is written, so the
+// HTTP layer can still answer 400; a mid-stream failure leaves the stream
+// truncated, which clients detect by the missing summary.
+func (e *ShardExecutor) Run(ctx context.Context, req ShardRequest, w io.Writer) error {
+	scale, err := req.Scale.testbedScale()
+	if err != nil {
+		return err
+	}
+	if req.Study != StudyPopAB && req.Study != StudyPopRating {
+		return fmt.Errorf("qoe: unknown shard study %q (have: %s, %s)", req.Study, StudyPopAB, StudyPopRating)
+	}
+	prange := population.ShardRange{Lo: req.Range.Lo, Hi: req.Range.Hi}
+	expSeed := core.DeriveSeed(req.Seed, req.Study) // the batch runner's per-experiment derivation
+	tb := e.testbed(scale, req.Scale, req.Seed)
+
+	// Compute all states before writing: a validation error (bad range)
+	// must become an HTTP error, not a truncated 200.
+	type line struct {
+		shard int
+		state any
+	}
+	var lines []line
+	switch req.Study {
+	case StudyPopAB:
+		cells, err := experiments.PopABCells(tb)
+		if err != nil {
+			return err
+		}
+		states, err := population.RunABRange(ctx, cells, experiments.PopABConfig(expSeed), prange)
+		if err != nil {
+			return err
+		}
+		for i := range states {
+			lines = append(lines, line{states[i].Shard, &states[i]})
+		}
+	case StudyPopRating:
+		cells, err := experiments.PopRatingCells(tb)
+		if err != nil {
+			return err
+		}
+		states, err := population.RunRatingRange(ctx, cells, experiments.PopRatingConfig(expSeed), prange)
+		if err != nil {
+			return err
+		}
+		for i := range states {
+			lines = append(lines, line{states[i].Shard, &states[i]})
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	for _, l := range lines {
+		state, err := json.Marshal(l.state)
+		if err != nil {
+			return err
+		}
+		ev := ShardEvent{Type: "shard", SchemaVersion: SchemaVersion, Study: req.Study, Shard: l.shard, State: state}
+		if err := enc.Encode(&ev); err != nil {
+			return err
+		}
+	}
+	r := req.Range
+	return enc.Encode(&ShardEvent{
+		Type: "shard_summary", SchemaVersion: SchemaVersion, Study: req.Study,
+		Range: &r, Shards: len(lines),
+	})
+}
