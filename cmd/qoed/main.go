@@ -6,7 +6,18 @@
 //
 //	qoed [-addr :8080] [-workers N] [-queue N] [-cache-mb MB]
 //	     [-retry-after DUR] [-drain DUR]
+//	     [-store DIR] [-peers URL,URL,...] [-prewarm PATH|default]
 //	     [-worker | -coordinator URL,URL,...]
+//
+// Durable result tier: `-store DIR` mounts a content-addressed disk spill
+// store under the RAM cache — finished streams are written through with
+// atomic checksummed framing, evictions demote to disk, disk hits promote
+// back, and a restart serves its whole history with zero re-simulation.
+// `-peers url1,url2,...` fills misses from sibling daemons' finished tiers
+// before simulating (a coordinator with no explicit peers uses its worker
+// pool). `-prewarm grid.json` (or `-prewarm default` for the catalog's hot
+// set) computes the grid's tuples through normal admission at boot, one at
+// a time so live traffic is never starved.
 //
 // Distributed studies: `-worker` announces the daemon as a shard worker (it
 // serves shard-range population sub-jobs at GET /v1/shard — every daemon
@@ -70,8 +81,11 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "grace period for in-flight runs at shutdown")
 	workerRole := flag.Bool("worker", false, "announce this daemon as a distributed-study shard worker")
 	coordinator := flag.String("coordinator", "", "comma-separated worker URLs; distribute pop-* studies across them")
+	storeDir := flag.String("store", "", "disk spill store directory (durable result tier; empty disables)")
+	peers := flag.String("peers", "", "comma-separated peer daemon URLs to fill cache misses from (coordinator default: its worker pool)")
+	prewarm := flag.String("prewarm", "", "prewarm grid JSON file, or 'default' for the catalog hot set, computed at boot")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qoed [-addr :8080] [-workers N] [-queue N] [-cache-mb MB] [-retry-after DUR] [-drain DUR] [-worker | -coordinator URL,URL,...]\n")
+		fmt.Fprintf(os.Stderr, "usage: qoed [-addr :8080] [-workers N] [-queue N] [-cache-mb MB] [-retry-after DUR] [-drain DUR] [-store DIR] [-peers URL,...] [-prewarm PATH|default] [-worker | -coordinator URL,URL,...]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -93,14 +107,11 @@ func main() {
 		CacheBytes: cacheBytes,
 		RetryAfter: *retryAfter,
 		Logf:       logger.Printf,
+		StoreDir:   *storeDir,
+		Peers:      splitURLs(*peers),
 	}
 	if *coordinator != "" {
-		var pool []string
-		for _, u := range strings.Split(*coordinator, ",") {
-			if u = strings.TrimSpace(u); u != "" {
-				pool = append(pool, u)
-			}
-		}
+		pool := splitURLs(*coordinator)
 		fab, err := qoed.NewFabric(qoed.FabricConfig{Workers: pool, Logf: logger.Printf})
 		if err != nil {
 			logger.Fatalf("qoed: %v", err)
@@ -109,12 +120,45 @@ func main() {
 			logger.Fatalf("qoed: %v", err)
 		}
 		cfg.Fabric = fab
+		if len(cfg.Peers) == 0 {
+			// A coordinator's workers hold the fleet's warm bytes; they are
+			// the natural peer set when none is named explicitly.
+			cfg.Peers = pool
+		}
 		logger.Printf("qoed: coordinating %d workers", len(pool))
 	}
 	if *workerRole {
 		logger.Printf("qoed: serving as shard worker")
 	}
-	srv := qoed.New(cfg)
+	if len(cfg.Peers) > 0 {
+		logger.Printf("qoed: filling cache misses from %d peers", len(cfg.Peers))
+	}
+	// A requested-but-broken store is fatal: the operator asked for restart
+	// persistence, and a silently memory-only daemon would betray that.
+	srv, err := qoed.Open(cfg)
+	if err != nil {
+		logger.Fatalf("qoed: %v", err)
+	}
+	if *storeDir != "" {
+		logger.Printf("qoed: durable result store at %s", *storeDir)
+	}
+
+	// Resolve the prewarm grid before binding the port: a bad grid file is a
+	// boot error, not something to discover after announcing readiness.
+	var prewarmSpecs []qoed.RunSpec
+	if *prewarm != "" {
+		grid := qoed.DefaultPrewarmGrid()
+		if *prewarm != "default" {
+			var gerr error
+			if grid, gerr = qoed.LoadPrewarmGrid(*prewarm); gerr != nil {
+				logger.Fatalf("qoed: %v", gerr)
+			}
+		}
+		var gerr error
+		if prewarmSpecs, gerr = grid.Specs(); gerr != nil {
+			logger.Fatalf("qoed: %v", gerr)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -131,6 +175,17 @@ func main() {
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	if len(prewarmSpecs) > 0 {
+		// In the background, one tuple at a time: prewarm fills boot idle
+		// capacity without ever starving live traffic, and a shutdown signal
+		// stops the walk mid-grid.
+		logger.Printf("qoed: prewarming %d tuples", len(prewarmSpecs))
+		go func() {
+			stats := srv.Prewarm(ctx, prewarmSpecs)
+			logger.Printf("qoed: prewarm done: %d computed, %d already warm, %d failed",
+				stats.Warmed, stats.AlreadyWarm, stats.Failed)
+		}()
+	}
 	select {
 	case <-ctx.Done():
 	case err := <-serveErr:
@@ -150,4 +205,15 @@ func main() {
 		logger.Printf("qoed: http shutdown: %v", err)
 	}
 	logger.Printf("qoed: stopped")
+}
+
+// splitURLs parses a comma-separated URL list, dropping empty elements.
+func splitURLs(s string) []string {
+	var out []string
+	for _, u := range strings.Split(s, ",") {
+		if u = strings.TrimSpace(u); u != "" {
+			out = append(out, u)
+		}
+	}
+	return out
 }

@@ -11,11 +11,11 @@
 //
 // Usage:
 //
-//	qoeload [-conns N] [-requests N] [-blend COLD:CACHED:DEDUP]
+//	qoeload [-conns N] [-requests N] [-blend COLD:CACHED:DEDUP[:DISK]]
 //	        [-experiments LIST] [-scale quick|paper] [-warm N]
-//	        [-dedup-group N] [-seed N] [-workers N] [-queue N]
-//	        [-max-p50 DUR] [-max-p99 DUR] [-min-rows-per-sec F]
-//	        [-max-error-rate F] [-timeout DUR] [-json]
+//	        [-dedup-group N] [-seed N] [-workers N] [-queue N] [-store DIR]
+//	        [-max-p50 DUR] [-max-p99 DUR] [-max-disk-p99 DUR]
+//	        [-min-rows-per-sec F] [-max-error-rate F] [-timeout DUR] [-json]
 //
 // The blend is scheduled deterministically from -seed: request classes are
 // interleaved by an exact-proportion shuffle, cold requests draw
@@ -26,6 +26,15 @@
 // load: every response's summary must match the first response seen for the
 // same tuple, so a race that corrupted a stream would fail the run even if
 // it met the latency SLOs.
+//
+// A nonzero DISK weight turns on restart-the-store mode: a first daemon
+// life computes the disk class's tuples into a spill store (-store, or a
+// private temp dir) and shuts down, and the measured daemon boots on that
+// directory with a cold RAM tier — so every disk request replays a
+// checksummed spill entry from the durable tier under live mixed load, the
+// path a restarted (or memory-pressured) node serves while it re-warms.
+// -max-disk-p99 gates that class's p99, and the cross-restart summary check
+// extends the determinism guard over the store's replay path.
 //
 // Exit status: 0 when all SLOs hold, 1 on an SLO violation or any failed
 // request beyond -max-error-rate, 2 on setup/usage errors.
@@ -63,6 +72,7 @@ const (
 	classCold reqClass = iota
 	classCached
 	classDedup
+	classDisk
 	numClasses
 )
 
@@ -74,6 +84,8 @@ func (c reqClass) String() string {
 		return "cached"
 	case classDedup:
 		return "dedup"
+	case classDisk:
+		return "disk"
 	}
 	return "?"
 }
@@ -139,14 +151,16 @@ func run() int {
 	seed := flag.Int64("seed", 1, "schedule-shuffle seed (tuple seeds derive from it deterministically)")
 	workers := flag.Int("workers", 0, "server simulation workers (0 = one per core)")
 	queue := flag.Int("queue", 64, "server admission queue depth")
+	storeDir := flag.String("store", "", "spill store directory for the disk class (default: a private temp dir)")
 	maxP50 := flag.Duration("max-p50", 0, "SLO: overall p50 latency ceiling (0 disables)")
 	maxP99 := flag.Duration("max-p99", 0, "SLO: overall p99 latency ceiling (0 disables)")
+	maxDiskP99 := flag.Duration("max-disk-p99", 0, "SLO: disk-class (warm-restart) p99 latency ceiling (0 disables)")
 	minRows := flag.Float64("min-rows-per-sec", 0, "SLO: decoded-row throughput floor (0 disables)")
 	maxErrRate := flag.Float64("max-error-rate", 0, "SLO: tolerated fraction of failed requests")
 	timeout := flag.Duration("timeout", 5*time.Minute, "hard deadline for the whole harness")
 	jsonOut := flag.Bool("json", false, "emit the report as JSON instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qoeload [-conns N] [-requests N] [-blend C:H:D] [-max-p99 DUR] ...\n")
+		fmt.Fprintf(os.Stderr, "usage: qoeload [-conns N] [-requests N] [-blend C:H:D[:K]] [-max-p99 DUR] ...\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -167,14 +181,56 @@ func run() int {
 	ctx, cancel := context.WithTimeout(context.Background(), *timeout)
 	defer cancel()
 
-	// In-process daemon on a loopback listener: the harness measures the
-	// full HTTP round trip, but its allocation accounting spans both ends
-	// because client and server share this process's heap.
-	srv := qoed.New(qoed.Config{
+	sel := strings.Split(*experiments, ",")
+	newReq := func(tupleSeed int64) qoe.RunRequest {
+		return qoe.RunRequest{Experiments: sel, Scale: qoe.Scale(*scale), Seed: tupleSeed}
+	}
+	check := &tupleCheck{seen: make(map[int64]qoe.SummaryEvent)}
+
+	// The schedule is fixed before any daemon boots: the disk class's tuple
+	// set must be known up front so the pre-restart phase can compute it.
+	schedule := buildSchedule(*requests, weights, *warm, *dedupGroup, rand.New(rand.NewSource(*seed)))
+	diskSeeds := map[int64]bool{}
+	for _, r := range schedule {
+		if r.class == classDisk {
+			diskSeeds[r.seed] = true
+		}
+	}
+
+	cfg := qoed.Config{
 		Workers:    *workers,
 		QueueDepth: *queue,
 		Logf:       func(string, ...any) {},
-	})
+	}
+	if len(diskSeeds) > 0 {
+		// Restart-the-store-between-phases mode: a first daemon life computes
+		// the disk class's tuples into a spill store and shuts down; the
+		// measured daemon boots on the same directory with a cold RAM tier,
+		// so each disk request pays the durable tier's read + verify +
+		// promote — the restart-recovery path under live mixed load.
+		cfg.StoreDir = *storeDir
+		if cfg.StoreDir == "" {
+			dir, err := os.MkdirTemp("", "qoeload-store-*")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "qoeload: store dir: %v\n", err)
+				return 2
+			}
+			defer os.RemoveAll(dir)
+			cfg.StoreDir = dir
+		}
+		if code := prewarmDiskStore(ctx, cfg, diskSeeds, newReq, check); code != 0 {
+			return code
+		}
+	}
+
+	// In-process daemon on a loopback listener: the harness measures the
+	// full HTTP round trip, but its allocation accounting spans both ends
+	// because client and server share this process's heap.
+	srv, err := qoed.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoeload: %v\n", err)
+		return 2
+	}
 	defer srv.Close()
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
@@ -195,12 +251,6 @@ func run() int {
 	defer transport.CloseIdleConnections()
 	httpc := &http.Client{Transport: transport}
 
-	sel := strings.Split(*experiments, ",")
-	newReq := func(tupleSeed int64) qoe.RunRequest {
-		return qoe.RunRequest{Experiments: sel, Scale: qoe.Scale(*scale), Seed: tupleSeed}
-	}
-	check := &tupleCheck{seen: make(map[int64]qoe.SummaryEvent)}
-
 	// Warm phase (untimed): prime the result cache with the cached class's
 	// seed pool, and fail fast if the tuple itself is invalid.
 	warmClient := qoe.NewClient(baseURL, httpc)
@@ -216,8 +266,6 @@ func run() int {
 			return 2
 		}
 	}
-
-	schedule := buildSchedule(*requests, weights, *warm, *dedupGroup, rand.New(rand.NewSource(*seed)))
 
 	// Measured phase.
 	var sheds atomic.Int64
@@ -256,7 +304,7 @@ func run() int {
 	rep.Scale = *scale
 	rep.ServerMetrics = scrapeMetrics(ctx, httpc, baseURL)
 
-	rep.evalSLOs(*maxP50, *maxP99, *minRows, *maxErrRate)
+	rep.evalSLOs(*maxP50, *maxP99, *maxDiskP99, *minRows, *maxErrRate)
 
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
@@ -278,14 +326,65 @@ const (
 	cachedSeedBase = 1
 	coldSeedBase   = 1_000_000
 	dedupSeedBase  = 2_000_000
+	diskSeedBase   = 3_000_000
 )
 
-// parseBlend parses "cold:cached:dedup" integer weights.
+// prewarmDiskStore is the first daemon life of restart-the-store mode: it
+// computes every disk-class tuple through a daemon writing through to
+// cfg.StoreDir, waits for the spill writes to land, and shuts the daemon
+// down — leaving a warm durable tier and a cold everything-else for the
+// measured life to recover from. Summaries are recorded into check, so the
+// measured phase also verifies determinism ACROSS the restart.
+func prewarmDiskStore(ctx context.Context, cfg qoed.Config, diskSeeds map[int64]bool, newReq func(int64) qoe.RunRequest, check *tupleCheck) int {
+	srv, err := qoed.Open(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoeload: pre-restart store: %v\n", err)
+		return 2
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "qoeload: listen: %v\n", err)
+		return 2
+	}
+	httpSrv := &http.Server{Handler: srv}
+	go func() { _ = httpSrv.Serve(ln) }()
+	defer httpSrv.Close()
+	client := qoe.NewClient("http://"+ln.Addr().String(), nil)
+	for s := range diskSeeds {
+		summary, err := client.Run(ctx, newReq(s), nil)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "qoeload: disk pre-run (seed %d): %v\n", s, err)
+			return 2
+		}
+		if err := check.verify(s, summary); err != nil {
+			fmt.Fprintf(os.Stderr, "qoeload: disk pre-run: %v\n", err)
+			return 2
+		}
+	}
+	// A run's stream returns just before its spill write lands; every tuple
+	// must be durable before this life ends.
+	for deadline := time.Now().Add(30 * time.Second); ; {
+		m, err := client.Metrics(ctx)
+		if err == nil && m.StoreEntries >= int64(len(diskSeeds)) {
+			return 0
+		}
+		if time.Now().After(deadline) || ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "qoeload: disk pre-runs never reached the store\n")
+			return 2
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// parseBlend parses "cold:cached:dedup[:disk]" integer weights. The legacy
+// three-part form is accepted with a disk weight of zero, so existing
+// invocations keep their exact schedule.
 func parseBlend(s string) ([numClasses]int, error) {
 	var w [numClasses]int
 	parts := strings.Split(s, ":")
-	if len(parts) != int(numClasses) {
-		return w, fmt.Errorf("bad -blend %q: want COLD:CACHED:DEDUP", s)
+	if len(parts) != int(numClasses) && len(parts) != int(numClasses)-1 {
+		return w, fmt.Errorf("bad -blend %q: want COLD:CACHED:DEDUP[:DISK]", s)
 	}
 	sum := 0
 	for i, p := range parts {
@@ -334,6 +433,12 @@ func buildSchedule(n int, weights [numClasses]int, warm, dedupGroup int, rng *ra
 	for i := 0; i < counts[classDedup]; i++ {
 		schedule = append(schedule, request{classDedup, dedupSeedBase + dedupNext/int64(dedupGroup)})
 		dedupNext++
+	}
+	// Disk requests get distinct sequential seeds: each tuple is computed in
+	// the pre-restart phase and then evicted from RAM by the restart, so every
+	// measured disk request pays exactly one durable-tier read + promote.
+	for i := 0; i < counts[classDisk]; i++ {
+		schedule = append(schedule, request{classDisk, diskSeedBase + int64(i)})
 	}
 	rng.Shuffle(len(schedule), func(i, j int) { schedule[i], schedule[j] = schedule[j], schedule[i] })
 	return schedule
@@ -508,7 +613,7 @@ func scrapeMetrics(ctx context.Context, httpc *http.Client, baseURL string) map[
 
 // evalSLOs appends one verdict per configured gate plus the always-on
 // error-rate gate, and sets Pass to their conjunction.
-func (r *report) evalSLOs(maxP50, maxP99 time.Duration, minRows, maxErrRate float64) {
+func (r *report) evalSLOs(maxP50, maxP99, maxDiskP99 time.Duration, minRows, maxErrRate float64) {
 	r.Pass = true
 	add := func(name, want, got string, ok bool) {
 		r.SLOs = append(r.SLOs, sloResult{Name: name, Want: want, Got: got, OK: ok})
@@ -527,6 +632,10 @@ func (r *report) evalSLOs(maxP50, maxP99 time.Duration, minRows, maxErrRate floa
 	if maxP99 > 0 {
 		add("p99-latency", "<= "+maxP99.String(), r.Overall.P99.String(), r.Overall.P99 <= maxP99)
 	}
+	if maxDiskP99 > 0 {
+		st := r.PerClass[classDisk.String()]
+		add("disk-p99", "<= "+maxDiskP99.String(), st.P99.String(), st.P99 <= maxDiskP99)
+	}
 	if minRows > 0 {
 		add("rows-per-sec", fmt.Sprintf(">= %.0f", minRows), fmt.Sprintf("%.0f", r.RowsPerSec), r.RowsPerSec >= minRows)
 	}
@@ -539,7 +648,7 @@ func (r *report) render(w *os.File) {
 		r.WallSeconds, r.ReqPerSec, r.RowsPerSec, r.Rows, r.Errors, r.Sheds)
 	fmt.Fprintf(w, "  heap: %.0f allocs/req, %.0f B/req (client+server, in-process)\n", r.AllocsPerReq, r.BytesPerReq)
 	fmt.Fprintf(w, "  %-8s %8s %12s %12s %12s %8s\n", "class", "reqs", "p50", "p99", "max", "errors")
-	classes := []string{"overall", classCold.String(), classCached.String(), classDedup.String()}
+	classes := []string{"overall", classCold.String(), classCached.String(), classDedup.String(), classDisk.String()}
 	for _, name := range classes {
 		st := r.Overall
 		if name != "overall" {

@@ -7,14 +7,23 @@ import (
 )
 
 func TestParseBlend(t *testing.T) {
+	// Legacy three-part blends parse with a disk weight of zero, so existing
+	// invocations keep their exact schedule.
 	w, err := parseBlend("1:6:3")
 	if err != nil {
 		t.Fatal(err)
 	}
-	if w != [numClasses]int{1, 6, 3} {
+	if w != [numClasses]int{1, 6, 3, 0} {
 		t.Fatalf("parseBlend(1:6:3) = %v", w)
 	}
-	for _, bad := range []string{"", "1:2", "1:2:3:4", "a:b:c", "-1:2:3", "0:0:0"} {
+	w, err = parseBlend("1:5:3:1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w != [numClasses]int{1, 5, 3, 1} {
+		t.Fatalf("parseBlend(1:5:3:1) = %v", w)
+	}
+	for _, bad := range []string{"", "1:2", "1:2:3:4:5", "a:b:c", "-1:2:3", "0:0:0", "0:0:0:0"} {
 		if _, err := parseBlend(bad); err == nil {
 			t.Errorf("parseBlend(%q): want error", bad)
 		}
@@ -22,15 +31,17 @@ func TestParseBlend(t *testing.T) {
 }
 
 // TestBuildScheduleProportions: exact class counts under largest-remainder
-// rounding, disjoint seed spaces, dedup bursts of the configured size.
+// rounding, disjoint seed spaces, dedup bursts of the configured size, and
+// disk requests each naming a distinct durable tuple.
 func TestBuildScheduleProportions(t *testing.T) {
-	weights := [numClasses]int{1, 6, 3}
+	weights := [numClasses]int{1, 5, 3, 1}
 	s := buildSchedule(100, weights, 4, 8, rand.New(rand.NewSource(7)))
 	if len(s) != 100 {
 		t.Fatalf("schedule length %d, want 100", len(s))
 	}
 	counts := [numClasses]int{}
 	groupSize := map[int64]int{}
+	diskSeeds := map[int64]bool{}
 	for _, r := range s {
 		counts[r.class]++
 		switch r.class {
@@ -43,14 +54,22 @@ func TestBuildScheduleProportions(t *testing.T) {
 				t.Fatalf("cached seed %d outside warm pool", r.seed)
 			}
 		case classDedup:
-			if r.seed < dedupSeedBase {
+			if r.seed < dedupSeedBase || r.seed >= diskSeedBase {
 				t.Fatalf("dedup seed %d outside its space", r.seed)
 			}
 			groupSize[r.seed]++
+		case classDisk:
+			if r.seed < diskSeedBase {
+				t.Fatalf("disk seed %d outside its space", r.seed)
+			}
+			if diskSeeds[r.seed] {
+				t.Fatalf("disk seed %d repeats: every disk request must pay a fresh durable read", r.seed)
+			}
+			diskSeeds[r.seed] = true
 		}
 	}
-	if counts != [numClasses]int{10, 60, 30} {
-		t.Fatalf("class counts %v, want [10 60 30]", counts)
+	if counts != [numClasses]int{10, 50, 30, 10} {
+		t.Fatalf("class counts %v, want [10 50 30 10]", counts)
 	}
 	// 30 dedup requests in groups of 8: sizes 8,8,8,6.
 	for seed, n := range groupSize {
@@ -104,19 +123,19 @@ func TestPercentile(t *testing.T) {
 func TestEvalSLOs(t *testing.T) {
 	r := &report{Requests: 100, Errors: 0, RowsPerSec: 500,
 		Overall: classStats{P50: 10 * time.Millisecond, P99: 90 * time.Millisecond}}
-	r.evalSLOs(20*time.Millisecond, 100*time.Millisecond, 100, 0)
+	r.evalSLOs(20*time.Millisecond, 100*time.Millisecond, 0, 100, 0)
 	if !r.Pass || len(r.SLOs) != 4 {
 		t.Fatalf("healthy report failed: %+v", r.SLOs)
 	}
 	r = &report{Requests: 100, Errors: 3, RowsPerSec: 500,
 		Overall: classStats{P50: 10 * time.Millisecond, P99: 90 * time.Millisecond}}
-	r.evalSLOs(0, 0, 0, 0.01)
+	r.evalSLOs(0, 0, 0, 0, 0.01)
 	if r.Pass {
 		t.Fatal("error-rate gate did not trip at 3% > 1%")
 	}
 	r = &report{Requests: 100, RowsPerSec: 50,
 		Overall: classStats{P99: 200 * time.Millisecond}}
-	r.evalSLOs(0, 100*time.Millisecond, 100, 0)
+	r.evalSLOs(0, 100*time.Millisecond, 0, 100, 0)
 	var tripped int
 	for _, s := range r.SLOs {
 		if !s.OK {
@@ -125,5 +144,21 @@ func TestEvalSLOs(t *testing.T) {
 	}
 	if r.Pass || tripped != 2 {
 		t.Fatalf("want p99 + rows gates tripped, got %+v", r.SLOs)
+	}
+
+	// The disk-class gate reads its own percentile, not the overall one.
+	r = &report{Requests: 100, PerClass: map[string]classStats{
+		classDisk.String(): {Requests: 10, P99: 80 * time.Millisecond},
+	}}
+	r.evalSLOs(0, 0, 50*time.Millisecond, 0, 0)
+	if r.Pass {
+		t.Fatal("disk-p99 gate did not trip at 80ms > 50ms")
+	}
+	r = &report{Requests: 100, PerClass: map[string]classStats{
+		classDisk.String(): {Requests: 10, P99: 30 * time.Millisecond},
+	}}
+	r.evalSLOs(0, 0, 50*time.Millisecond, 0, 0)
+	if !r.Pass {
+		t.Fatalf("disk-p99 gate tripped at 30ms <= 50ms: %+v", r.SLOs)
 	}
 }

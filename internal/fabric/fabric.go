@@ -117,6 +117,17 @@ type Coordinator struct {
 	rrMu sync.Mutex
 	rr   int
 
+	// affinity remembers, per sub-job identity, the worker that last
+	// computed it. A worker that served a sub-job holds its bytes in its
+	// result cache (and spill store), so re-dispatching the same sub-job
+	// there — post-retry re-reduces, repeated studies after coordinator
+	// restarts of the study, prewarm overlaps — replays warm bytes instead
+	// of re-simulating on a cold sibling. Bounded FIFO, entries ~100 bytes.
+	affMu       sync.Mutex
+	affinity    map[string]*worker
+	affOrder    []string
+	affinityHit expvar.Int
+
 	// Counters exported under "fabric" in the daemon's /metrics.
 	jobsDispatched  expvar.Int
 	jobsCompleted   expvar.Int
@@ -129,6 +140,9 @@ type Coordinator struct {
 	vars            *expvar.Map
 }
 
+// affinityRetention bounds the warm-worker affinity table.
+const affinityRetention = 4096
+
 // New builds a Coordinator over the worker pool. Workers start out presumed
 // healthy; CheckWorkers probes them eagerly.
 func New(cfg Config) (*Coordinator, error) {
@@ -136,11 +150,12 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, errors.New("fabric: no workers configured")
 	}
 	cfg = cfg.withDefaults()
-	c := &Coordinator{cfg: cfg}
+	c := &Coordinator{cfg: cfg, affinity: map[string]*worker{}}
 	for _, u := range cfg.Workers {
 		c.workers = append(c.workers, &worker{url: u, client: qoe.NewClient(u, cfg.HTTPClient), healthy: true})
 	}
 	c.vars = new(expvar.Map).Init()
+	c.vars.Set("affinity_hits", &c.affinityHit)
 	c.vars.Set("jobs_dispatched", &c.jobsDispatched)
 	c.vars.Set("jobs_completed", &c.jobsCompleted)
 	c.vars.Set("shards_computed", &c.shardsComputed)
@@ -166,11 +181,15 @@ func New(cfg Config) (*Coordinator, error) {
 func (c *Coordinator) Vars() expvar.Var { return c.vars }
 
 // WorkerStatus is one pool member's state as reported by
-// /v1/fabric/workers.
+// /v1/fabric/workers. Metrics, when populated (WorkersStatusObserved),
+// carries the worker's own counter slice — run outcomes and the per-tier
+// cache hit counters — making fleet-wide hit rates visible from the
+// coordinator alone.
 type WorkerStatus struct {
-	URL      string `json:"url"`
-	Healthy  bool   `json:"healthy"`
-	Failures int64  `json:"failures"`
+	URL      string             `json:"url"`
+	Healthy  bool               `json:"healthy"`
+	Failures int64              `json:"failures"`
+	Metrics  *qoe.DaemonMetrics `json:"metrics,omitempty"`
 }
 
 // WorkersStatus snapshots the pool for the fabric status endpoint.
@@ -180,6 +199,30 @@ func (c *Coordinator) WorkersStatus() []WorkerStatus {
 		ok, fails := w.state()
 		out[i] = WorkerStatus{URL: w.url, Healthy: ok, Failures: fails}
 	}
+	return out
+}
+
+// WorkersStatusObserved snapshots the pool and, best effort, scrapes each
+// healthy worker's /metrics into the snapshot (concurrently — one slow
+// worker doesn't serialize the endpoint). A worker that fails the scrape
+// just reports without Metrics; observation never flips health state, and
+// dead workers aren't probed at all.
+func (c *Coordinator) WorkersStatusObserved(ctx context.Context) []WorkerStatus {
+	out := c.WorkersStatus()
+	var wg sync.WaitGroup
+	for i := range out {
+		if !out[i].Healthy {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, w *worker) {
+			defer wg.Done()
+			if m, err := w.client.Metrics(ctx); err == nil {
+				out[i].Metrics = &m
+			}
+		}(i, c.workers[i])
+	}
+	wg.Wait()
 	return out
 }
 
@@ -234,13 +277,54 @@ func (c *Coordinator) nextWorker() *worker {
 	return w
 }
 
-// runJob executes one sub-job with the retry policy: each attempt goes to
-// the next live worker; failures (connection death, truncated or garbled
-// stream, backpressure) mark the worker unhealthy, count a retry, and back
-// off — exponentially from Config.Backoff, or the server's Retry-After
-// hint on a 429 if longer. A success re-marks the worker healthy.
+// subJobKey identifies a sub-job across studies: the exact tuple a worker's
+// result cache keys its shard stream by.
+func subJobKey(plan Plan, r qoe.ShardRange) string {
+	return fmt.Sprintf("%s|%s|%d|%s", plan.Study, plan.Scale, plan.Seed, r)
+}
+
+// warmWorker returns the worker that last completed this sub-job, if it is
+// still marked healthy — the dispatch steer that turns a repeat of a
+// sub-job into a cache replay instead of a fresh simulation on a cold
+// sibling.
+func (c *Coordinator) warmWorker(key string) *worker {
+	c.affMu.Lock()
+	w := c.affinity[key]
+	c.affMu.Unlock()
+	if w == nil {
+		return nil
+	}
+	if ok, _ := w.state(); !ok {
+		return nil
+	}
+	return w
+}
+
+// recordAffinity remembers the worker now holding this sub-job warm.
+func (c *Coordinator) recordAffinity(key string, w *worker) {
+	c.affMu.Lock()
+	defer c.affMu.Unlock()
+	if _, ok := c.affinity[key]; !ok {
+		c.affOrder = append(c.affOrder, key)
+		for len(c.affOrder) > affinityRetention {
+			delete(c.affinity, c.affOrder[0])
+			c.affOrder = c.affOrder[1:]
+		}
+	}
+	c.affinity[key] = w
+}
+
+// runJob executes one sub-job with the retry policy: the first attempt is
+// steered to the worker that last computed this sub-job (it replays warm
+// bytes instead of simulating), then each attempt goes to the next live
+// worker; failures (connection death, truncated or garbled stream,
+// backpressure) mark the worker unhealthy, count a retry, and back off —
+// exponentially from Config.Backoff, or the server's Retry-After hint on a
+// 429 if longer. A success re-marks the worker healthy and records it as
+// the sub-job's warm home.
 func (c *Coordinator) runJob(ctx context.Context, plan Plan, r qoe.ShardRange) ([]qoe.ShardData, error) {
 	req := qoe.ShardRequest{Study: plan.Study, Scale: plan.Scale, Seed: plan.Seed, Range: r}
+	key := subJobKey(plan, r)
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -259,11 +343,22 @@ func (c *Coordinator) runJob(ctx context.Context, plan Plan, r qoe.ShardRange) (
 				return nil, ctx.Err()
 			}
 		}
-		w := c.nextWorker()
+		var w *worker
+		if attempt == 0 {
+			// Affinity applies only to the first attempt: if the warm worker
+			// just failed this very sub-job, retries must move on.
+			if w = c.warmWorker(key); w != nil {
+				c.affinityHit.Add(1)
+			}
+		}
+		if w == nil {
+			w = c.nextWorker()
+		}
 		c.jobsDispatched.Add(1)
 		data, err := w.client.RunShards(ctx, req)
 		if err == nil {
 			w.setHealthy(true)
+			c.recordAffinity(key, w)
 			c.jobsCompleted.Add(1)
 			c.shardsComputed.Add(int64(len(data)))
 			return data, nil

@@ -410,3 +410,104 @@ func TestPlanGolden(t *testing.T) {
 		t.Errorf("shard plan drifted from golden:\n--- got ---\n%s--- want ---\n%s", buf.Bytes(), want)
 	}
 }
+
+// TestAffinitySteersRepeatsToWarmWorkers: rerunning a study dispatches every
+// sub-job's first attempt back to the worker that computed it last time —
+// where the bytes are a cache replay — with the steering visible in the
+// affinity_hits counter and in each worker seeing exactly its first-run
+// request load again.
+func TestAffinitySteersRepeatsToWarmWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-scale population runs; skipped in -short")
+	}
+	const master = 1
+	cells, cfg, want := localPopAB(t, master)
+
+	var counts [3]atomic.Int64
+	wraps := map[int]func(http.Handler) http.Handler{}
+	for i := range counts {
+		i := i
+		wraps[i] = func(next http.Handler) http.Handler {
+			return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				counts[i].Add(1)
+				next.ServeHTTP(w, r)
+			})
+		}
+	}
+	c := newCoordinator(t, Config{Workers: workerPool(t, 3, wraps), Scale: qoe.ScaleQuick, Seed: master})
+
+	got, err := c.RunAB(context.Background(), cells, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("first distributed run diverged from local")
+	}
+	if hits := c.affinityHit.Value(); hits != 0 {
+		t.Fatalf("cold run recorded %d affinity hits, want 0", hits)
+	}
+	jobs := c.jobsDispatched.Value()
+	var first [3]int64
+	for i := range counts {
+		first[i] = counts[i].Load()
+	}
+
+	got, err = c.RunAB(context.Background(), cells, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("warm distributed run diverged from local")
+	}
+	if hits := c.affinityHit.Value(); hits != jobs {
+		t.Fatalf("affinity_hits = %d after the rerun, want one per sub-job (%d)", hits, jobs)
+	}
+	for i := range counts {
+		if delta := counts[i].Load() - first[i]; delta != first[i] {
+			t.Errorf("worker %d served %d rerun requests, want its first-run load %d (steering drifted)", i, delta, first[i])
+		}
+	}
+}
+
+// TestWorkersStatusObserved: the observed snapshot carries each healthy
+// worker's own /metrics slice, skips scraping dead workers, and never flips
+// health state.
+func TestWorkersStatusObserved(t *testing.T) {
+	metricful := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/healthz":
+			w.WriteHeader(http.StatusOK)
+		case "/metrics":
+			w.Write([]byte(`{"runs_started": 3, "cache_hits_mem": 5, "cache_hits_disk": 2, "cache_hits_peer": 1, "cache_hit_rate": 0.7}`))
+		default:
+			http.NotFound(w, r)
+		}
+	}))
+	t.Cleanup(metricful.Close)
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+
+	c := newCoordinator(t, Config{Workers: []string{metricful.URL, dead.URL}, Logf: t.Logf})
+	if err := c.CheckWorkers(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	status := c.WorkersStatusObserved(context.Background())
+	if len(status) != 2 {
+		t.Fatalf("status = %d workers, want 2", len(status))
+	}
+	if !status[0].Healthy || status[0].Metrics == nil {
+		t.Fatalf("healthy worker not observed: %+v", status[0])
+	}
+	m := status[0].Metrics
+	if m.RunsStarted != 3 || m.CacheHitsMem != 5 || m.CacheHitsDisk != 2 || m.CacheHitsPeer != 1 || m.CacheHitRate != 0.7 {
+		t.Fatalf("scraped metrics = %+v", m)
+	}
+	if status[1].Healthy || status[1].Metrics != nil {
+		t.Fatalf("dead worker = %+v, want unhealthy and unscraped", status[1])
+	}
+	// Observation is read-only: the pool's health is as CheckWorkers left it.
+	after := c.WorkersStatus()
+	if !after[0].Healthy || after[1].Healthy {
+		t.Fatalf("observation flipped health: %+v", after)
+	}
+}

@@ -49,20 +49,23 @@ func (c *resultCache) get(id string) ([]byte, string, bool) {
 
 // add inserts a finished run, evicting least-recently-used entries until the
 // byte budget holds. A stream larger than the whole budget is not cached —
-// it would only evict everything else to occupy the cache alone.
-func (c *resultCache) add(id, key string, data []byte) {
+// it would only evict everything else to occupy the cache alone. The evicted
+// entries are returned so the caller can demote them to the disk tier
+// (outside this lock — eviction must never wait on file I/O).
+func (c *resultCache) add(id, key string, data []byte) []*cacheEntry {
 	if int64(len(data)) > c.max {
-		return
+		return nil
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.byID[id]; ok {
 		// Determinism means the bytes are identical; just refresh recency.
 		c.order.MoveToFront(el)
-		return
+		return nil
 	}
 	c.byID[id] = c.order.PushFront(&cacheEntry{id: id, key: key, data: data})
 	c.size += int64(len(data))
+	var evicted []*cacheEntry
 	for c.size > c.max {
 		el := c.order.Back()
 		ent := el.Value.(*cacheEntry)
@@ -70,6 +73,21 @@ func (c *resultCache) add(id, key string, data []byte) {
 		delete(c.byID, ent.id)
 		c.size -= int64(len(ent.data))
 		c.evictions++
+		evicted = append(evicted, ent)
+	}
+	return evicted
+}
+
+// remove drops one entry (if present) without counting an eviction — used by
+// benchmarks to force repeated disk-tier hits, not by the serving path.
+func (c *resultCache) remove(id string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byID[id]; ok {
+		ent := el.Value.(*cacheEntry)
+		c.order.Remove(el)
+		delete(c.byID, ent.id)
+		c.size -= int64(len(ent.data))
 	}
 }
 

@@ -184,7 +184,7 @@ func (s *Server) handleStartRun(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRunStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j, cached, key, ok := s.lookup(id)
+	j, cached, key, _, ok := s.lookup(id)
 	if !ok {
 		// The bytes may be gone (cache eviction, oversized stream, caching
 		// disabled) while the completed-run index still knows the outcome.
@@ -226,13 +226,17 @@ var (
 	sourceValues       = map[string][]string{
 		"live":   {"live"},
 		"cache":  {"cache"},
+		"disk":   {"disk"},
 		"failed": {"failed"},
 	}
 )
 
 // streamHeaders stamps the NDJSON response envelope. source is "live"
-// (broadcast from a running job), "cache" (replay of finished bytes), or
-// "failed" (sealed partial bytes of a dead run).
+// (broadcast from a running job), "cache" (replay from the RAM tier),
+// "disk" (replay promoted from the spill store), or "failed" (sealed
+// partial bytes of a dead run). The bytes of cache and disk replays are
+// identical — the source header exists so tests and operators can see which
+// tier answered.
 func streamHeaders(w http.ResponseWriter, id, source string) {
 	h := w.Header()
 	h["Content-Type"] = ndjsonContentType
@@ -242,8 +246,8 @@ func streamHeaders(w http.ResponseWriter, id, source string) {
 }
 
 // replayCached writes one finished stream in a single shot.
-func (s *Server) replayCached(w http.ResponseWriter, id string, data []byte) {
-	streamHeaders(w, id, "cache")
+func (s *Server) replayCached(w http.ResponseWriter, id, source string, data []byte) {
+	streamHeaders(w, id, source)
 	n, _ := w.Write(data)
 	s.met.bytesStreamed.Add(int64(n))
 }
@@ -270,18 +274,62 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job, subsc
 }
 
 // streamAdmission streams whatever admit routed the request to: cached
-// bytes or a live job (whose subscription the admission already holds).
+// bytes (from whichever tier answered) or a live job (whose subscription
+// the admission already holds).
 func (s *Server) streamAdmission(w http.ResponseWriter, r *http.Request, adm admission) {
 	if adm.cached != nil {
-		s.replayCached(w, adm.id, adm.cached)
+		s.replayCached(w, adm.id, adm.source, adm.cached)
 		return
 	}
 	s.streamJob(w, r, adm.j, true)
 }
 
-func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
+// handleWarmProbe answers the peer-fill protocol on the stream endpoint:
+// HEAD asks "is this run finished here", GET with the peer-fill header
+// fetches the bytes. Both are answered exclusively from the finished local
+// tiers (RAM, then disk) — no admission, no simulation, no attaching to
+// live jobs. That asymmetry is load-bearing: a probe can fan out across the
+// whole fleet without starting any work anywhere, fills can never cascade
+// (the peer serving a fill cannot itself be induced to fill from its own
+// peers), and a daemon listed in its own peer set harmlessly answers 404.
+func (s *Server) handleWarmProbe(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	j, cached, _, ok := s.lookup(id)
+	if r.Method == http.MethodHead {
+		// Existence only — one map probe or one stat, no bytes read, no
+		// tier counters (nothing was served).
+		if _, _, ok := s.cache.get(id); ok {
+			streamHeaders(w, id, "cache")
+			return
+		}
+		if s.store != nil && s.store.Has(id) {
+			streamHeaders(w, id, "disk")
+			return
+		}
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "serve: run " + id + " is not warm here"})
+		return
+	}
+	if data, _, ok := s.cache.get(id); ok {
+		s.met.cacheHitsMem.Add(1)
+		s.replayCached(w, id, "cache", data)
+		return
+	}
+	if data, _, ok := s.diskGetKeyed(id); ok {
+		s.met.cacheHitsDisk.Add(1)
+		s.replayCached(w, id, "disk", data)
+		return
+	}
+	writeJSON(w, http.StatusNotFound, errorBody{Error: "serve: run " + id + " is not warm here"})
+}
+
+func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
+	// HEAD requests reach this handler too (a GET mux pattern matches both);
+	// they and peer-fill GETs take the warm-probe path, which never admits.
+	if r.Method == http.MethodHead || r.Header.Get(qoe.PeerFillHeader) != "" {
+		s.handleWarmProbe(w, r)
+		return
+	}
+	id := r.PathValue("id")
+	j, cached, _, tier, ok := s.lookup(id)
 	if !ok {
 		// A completed run whose bytes were evicted is transparently re-run:
 		// the ID is a content address of the spec, and determinism makes
@@ -304,7 +352,7 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if j == nil {
-		s.replayCached(w, id, cached)
+		s.replayCached(w, id, tier, cached)
 		return
 	}
 	// Attaching by ID is deliberate: if attach is refused, the job is
@@ -353,11 +401,13 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleFabricWorkers is GET /v1/fabric/workers on a coordinator daemon:
-// the worker pool's registration and health state.
-func (s *Server) handleFabricWorkers(w http.ResponseWriter, _ *http.Request) {
+// the worker pool's registration and health state, with each healthy
+// worker's own /metrics slice (per-tier cache hits, hit rate, store gauges)
+// scraped in — the fleet's warmth at a glance.
+func (s *Server) handleFabricWorkers(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"schema_version": qoe.SchemaVersion,
-		"workers":        s.cfg.Fabric.WorkersStatus(),
+		"workers":        s.cfg.Fabric.WorkersStatusObserved(r.Context()),
 	})
 }
 

@@ -20,10 +20,26 @@ type metrics struct {
 	runsRejected expvar.Int
 
 	// Execution outcomes: started counts worker pickups; completed and
-	// failed partition the finished runs.
+	// failed partition the finished runs. A peer-filled job increments
+	// NEITHER — nothing simulated, so a fully warm fleet shows runs_started
+	// frozen while cache_hits_peer climbs.
 	runsStarted   expvar.Int
 	runsCompleted expvar.Int
 	runsFailed    expvar.Int
+
+	// Per-tier hits of the RAM → disk → peer hierarchy. mem and disk count
+	// every replay served from that tier (admission and by-ID lookups both);
+	// peer counts misses filled from the fleet instead of simulated. The
+	// cache_hit_rate gauge derives from these.
+	cacheHitsMem  expvar.Int
+	cacheHitsDisk expvar.Int
+	cacheHitsPeer expvar.Int
+
+	// Prewarm outcomes (the boot-time grid walk): tuples computed, tuples
+	// already warm in some tier, tuples that failed.
+	prewarmWarmed  expvar.Int
+	prewarmAlready expvar.Int
+	prewarmFailed  expvar.Int
 
 	// bytesStreamed counts NDJSON bytes actually delivered to clients,
 	// across live broadcasts and cache replays.
@@ -53,7 +69,30 @@ func newMetrics(s *Server) *metrics {
 	m.vars.Set("cache_bytes", expvar.Func(func() any { return s.cache.bytes() }))
 	m.vars.Set("cache_entries", expvar.Func(func() any { return s.cache.entries() }))
 	m.vars.Set("cache_evictions", expvar.Func(func() any { return s.cache.evicted() }))
+	m.vars.Set("cache_hits_mem", &m.cacheHitsMem)
+	m.vars.Set("cache_hits_disk", &m.cacheHitsDisk)
+	m.vars.Set("cache_hits_peer", &m.cacheHitsPeer)
+	// Fleet-visible hit rate: the fraction of resolved runs served without a
+	// local simulation. Fills from peers count as hits — the fleet did the
+	// work once — and runs_started is the complement (every pickup that
+	// wasn't a hit). 0 until the first run resolves.
+	m.vars.Set("cache_hit_rate", expvar.Func(func() any {
+		hits := m.cacheHitsMem.Value() + m.cacheHitsDisk.Value() + m.cacheHitsPeer.Value()
+		total := hits + m.runsStarted.Value()
+		if total == 0 {
+			return 0.0
+		}
+		return float64(hits) / float64(total)
+	}))
+	m.vars.Set("prewarm_warmed", &m.prewarmWarmed)
+	m.vars.Set("prewarm_already_warm", &m.prewarmAlready)
+	m.vars.Set("prewarm_failed", &m.prewarmFailed)
 	m.vars.Set("workers", expvar.Func(func() any { return s.cfg.Workers }))
+	if s.store != nil {
+		m.vars.Set("store_entries", expvar.Func(func() any { return s.store.Entries() }))
+		m.vars.Set("store_bytes", expvar.Func(func() any { return s.store.Bytes() }))
+		m.vars.Set("store_quarantined", expvar.Func(func() any { return s.store.Quarantined() }))
+	}
 	if s.cfg.Fabric != nil {
 		// The coordinator's counters (shard retries, worker failures, …)
 		// surface under one "fabric" key so a smoke test can assert them.

@@ -1,0 +1,169 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/pkg/qoe"
+)
+
+// PrewarmGrid declares the hot tuple set a daemon computes at boot, before
+// (or while) live traffic arrives. The JSON form is a list of cross-product
+// groups — each group's experiments × scales × seeds expands to canonical
+// run specs:
+//
+//	{"tuples": [
+//	  {"experiments": ["table1", "pop-ab"], "scales": ["quick"], "seeds": [1, 2]},
+//	  {"scenarios": ["fig8"], "scales": ["quick", "full"]}
+//	]}
+//
+// scales defaults to ["quick"] and seeds to [1]; experiments and scenarios
+// are synonyms (their union is the selection), mirroring the run API.
+type PrewarmGrid struct {
+	Tuples []PrewarmTuple `json:"tuples"`
+}
+
+// PrewarmTuple is one cross-product group of a prewarm grid.
+type PrewarmTuple struct {
+	Experiments []string `json:"experiments,omitempty"`
+	Scenarios   []string `json:"scenarios,omitempty"`
+	Scales      []string `json:"scales,omitempty"`
+	Seeds       []int64  `json:"seeds,omitempty"`
+}
+
+// LoadPrewarmGrid reads a grid from a JSON file.
+func LoadPrewarmGrid(path string) (PrewarmGrid, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return PrewarmGrid{}, fmt.Errorf("serve: prewarm grid: %w", err)
+	}
+	var g PrewarmGrid
+	if err := json.Unmarshal(raw, &g); err != nil {
+		return PrewarmGrid{}, fmt.Errorf("serve: prewarm grid %s: %w", path, err)
+	}
+	if len(g.Tuples) == 0 {
+		return PrewarmGrid{}, fmt.Errorf("serve: prewarm grid %s declares no tuples", path)
+	}
+	return g, nil
+}
+
+// DefaultPrewarmGrid derives the hot set from the catalog: every experiment
+// individually at quick scale, seed 1 — the tuples interactive clients and
+// smoke tests reach for first.
+func DefaultPrewarmGrid() PrewarmGrid {
+	g := PrewarmGrid{}
+	for _, e := range qoe.Experiments() {
+		g.Tuples = append(g.Tuples, PrewarmTuple{Experiments: []string{e.Name}})
+	}
+	return g
+}
+
+// Specs expands the grid's cross products into canonical, deduplicated run
+// specs (set-equal groups collapse onto one spec, exactly as requests do).
+func (g PrewarmGrid) Specs() ([]RunSpec, error) {
+	seen := map[string]bool{}
+	var specs []RunSpec
+	for i, t := range g.Tuples {
+		scales := t.Scales
+		if len(scales) == 0 {
+			scales = []string{"quick"}
+		}
+		seeds := t.Seeds
+		if len(seeds) == 0 {
+			seeds = []int64{1}
+		}
+		for _, scale := range scales {
+			for _, seed := range seeds {
+				spec, err := Canonicalize(t.Experiments, t.Scenarios, scale, seed)
+				if err != nil {
+					return nil, fmt.Errorf("serve: prewarm tuple %d: %w", i, err)
+				}
+				if id := spec.ID(); !seen[id] {
+					seen[id] = true
+					specs = append(specs, spec)
+				}
+			}
+		}
+	}
+	return specs, nil
+}
+
+// PrewarmStats reports one grid walk's outcome.
+type PrewarmStats struct {
+	Warmed      int // computed (or peer-filled) by this walk
+	AlreadyWarm int // found finished in RAM or on disk
+	Failed      int // run failed or was cancelled
+}
+
+// Prewarm walks the grid through the NORMAL admission path, one tuple at a
+// time. Running strictly sequentially is the traffic-safety bound: prewarm
+// holds at most one of the pool's workers and one queue slot at any moment,
+// so live requests always have the rest — it warms in the gaps rather than
+// racing the event loop. Queue-full rejections back off and retry (live
+// load shedding applies to us, not because of us); tuples already finished
+// in RAM or on disk are counted and skipped in microseconds, which is what
+// makes rebooting a warm-store daemon with -prewarm nearly free. Prewarm
+// returns early if ctx is cancelled or the server drains; it is safe to run
+// concurrently with live traffic (the singleflight table merges collisions).
+func (s *Server) Prewarm(ctx context.Context, specs []RunSpec) PrewarmStats {
+	var stats PrewarmStats
+	for _, spec := range specs {
+		if ctx.Err() != nil {
+			return stats
+		}
+		ok := s.prewarmOne(ctx, spec, &stats)
+		if !ok {
+			return stats
+		}
+	}
+	return stats
+}
+
+// prewarmOne admits and drains a single tuple. Returns false when the walk
+// should stop (drain or ctx expiry).
+func (s *Server) prewarmOne(ctx context.Context, spec RunSpec, stats *PrewarmStats) bool {
+	for {
+		adm, err := s.admit(spec, false)
+		switch {
+		case err == nil:
+			if adm.cached != nil {
+				stats.AlreadyWarm++
+				s.met.prewarmAlready.Add(1)
+				return true
+			}
+			// Drain the broadcast to completion; the bytes land in the cache
+			// and store through the normal publish path.
+			_, jerr := adm.j.stream(ctx, io.Discard)
+			adm.j.unsubscribe()
+			if jerr != nil {
+				stats.Failed++
+				s.met.prewarmFailed.Add(1)
+				s.cfg.Logf("serve: prewarm %s: %v", adm.id, jerr)
+				return ctx.Err() == nil
+			}
+			stats.Warmed++
+			s.met.prewarmWarmed.Add(1)
+			return true
+		case errors.Is(err, errQueueFull):
+			// Live traffic owns the queue right now; wait out the server's
+			// own Retry-After hint and try again.
+			select {
+			case <-ctx.Done():
+				return false
+			case <-time.After(s.cfg.RetryAfter):
+			}
+		case errors.Is(err, errDraining):
+			return false
+		default:
+			stats.Failed++
+			s.met.prewarmFailed.Add(1)
+			s.cfg.Logf("serve: prewarm %s: %v", spec.Key(), err)
+			return true
+		}
+	}
+}

@@ -38,6 +38,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/fabric"
+	"repro/internal/store"
 	"repro/pkg/qoe"
 )
 
@@ -64,6 +65,22 @@ type Config struct {
 	// its counters under "fabric" in /metrics and the worker pool at
 	// GET /v1/fabric/workers.
 	Fabric *fabric.Coordinator
+	// StoreDir, when set, mounts the content-addressed disk spill store: a
+	// durable tier under the RAM cache that survives restarts. Finished
+	// streams are written through to it, RAM evictions demote to it instead
+	// of discarding, and disk hits promote back into RAM.
+	StoreDir string
+	// Peers lists sibling daemons (base URLs) to ask for a missing run
+	// before simulating it: on a miss of both local tiers, the worker probes
+	// each peer's finished tiers and streams the bytes into its own store.
+	// The singleflight job table already collapses concurrent waiters, so
+	// one probe covers them all. A daemon may appear in its own peer list —
+	// peer probes never trigger simulations, so self-probes just miss.
+	Peers []string
+	// PeerClient overrides the HTTP client used for peer cache fill
+	// (default: a dedicated client with a 30s timeout — peer fetches read
+	// finished bytes, they never wait on a simulation).
+	PeerClient *http.Client
 }
 
 func (c Config) withDefaults() Config {
@@ -136,6 +153,8 @@ type Server struct {
 	cfg       Config
 	mux       *http.ServeMux
 	cache     *resultCache
+	store     *store.Store // durable spill tier; nil when StoreDir unset
+	peers     []*qoe.Client
 	met       *metrics
 	runFn     runFunc
 	shardExec *qoe.ShardExecutor
@@ -189,8 +208,25 @@ type doneOrderEntry struct {
 	seq uint64
 }
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. If the configured spill
+// store cannot be opened, New logs the error and serves without the durable
+// tier rather than not serving at all; use Open when a broken store should
+// be fatal (cmd/qoed does — a silently memory-only daemon would defeat the
+// restart-persistence contract the operator asked for).
 func New(cfg Config) *Server {
+	s, err := Open(cfg)
+	if err != nil {
+		c := cfg.withDefaults()
+		c.Logf("serve: disk store disabled: %v", err)
+		c.StoreDir = ""
+		s, _ = Open(c)
+	}
+	return s
+}
+
+// Open builds a Server (opening the spill store when configured) and starts
+// its worker pool.
+func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:       cfg,
@@ -201,6 +237,22 @@ func New(cfg Config) *Server {
 		queue:     make(chan *job, cfg.QueueDepth),
 		shardExec: qoe.NewShardExecutor(2),
 	}
+	if cfg.StoreDir != "" {
+		st, err := store.Open(cfg.StoreDir, cfg.Logf)
+		if err != nil {
+			return nil, err
+		}
+		s.store = st
+	}
+	if len(cfg.Peers) > 0 {
+		httpc := cfg.PeerClient
+		if httpc == nil {
+			httpc = &http.Client{Timeout: 30 * time.Second}
+		}
+		for _, u := range cfg.Peers {
+			s.peers = append(s.peers, qoe.NewClient(u, httpc))
+		}
+	}
 	s.runFn = s.defaultRun
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	s.met = newMetrics(s)
@@ -209,7 +261,7 @@ func New(cfg Config) *Server {
 		s.workers.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // ServeHTTP dispatches to the API routes.
@@ -222,6 +274,7 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 type admission struct {
 	j       *job   // non-nil: attached to this live job (one subscription held)
 	cached  []byte // non-nil: replay these finished bytes
+	source  string // tier that supplied cached: "cache" (RAM) or "disk"
 	key     string // canonical tuple (always set)
 	id      string // canonical ID (always set)
 	created bool   // this request created (and enqueued) the job
@@ -246,13 +299,17 @@ var errDraining = errors.New("serve: server is draining")
 func (s *Server) admit(spec RunSpec, ephemeral bool) (admission, error) {
 	key := spec.Key()
 	id := idFromKey(key)
+	// Fast pass under the lock: dedup and the RAM tier. The disk tier is
+	// probed between the two passes with the lock RELEASED — file I/O on the
+	// admission path must never stall every other request's ~100µs RAM hit.
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	if s.draining {
+		s.mu.Unlock()
 		return admission{}, errDraining
 	}
 	if j, ok := s.live[id]; ok && j.attach(!ephemeral) {
 		s.met.runsDeduped.Add(1)
+		s.mu.Unlock()
 		return admission{j: j, key: key, id: id}, nil
 	}
 	// Either no live job, or attach refused it: the job was abandoned (its
@@ -263,7 +320,34 @@ func (s *Server) admit(spec RunSpec, ephemeral bool) (admission, error) {
 	// overwriting live[id] is safe.
 	if data, _, ok := s.cache.get(id); ok {
 		s.met.runsCacheHit.Add(1)
-		return admission{cached: data, key: key, id: id}, nil
+		s.met.cacheHitsMem.Add(1)
+		s.mu.Unlock()
+		return admission{cached: data, source: "cache", key: key, id: id}, nil
+	}
+	s.mu.Unlock()
+
+	if data, ok := s.diskGet(id); ok {
+		s.met.runsCacheHit.Add(1)
+		s.met.cacheHitsDisk.Add(1)
+		return admission{cached: data, source: "disk", key: key, id: id}, nil
+	}
+
+	// Slow pass: re-check under the lock (a concurrent request may have
+	// created or completed this tuple while we probed disk) and create the
+	// job atomically with its table entry.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return admission{}, errDraining
+	}
+	if j, ok := s.live[id]; ok && j.attach(!ephemeral) {
+		s.met.runsDeduped.Add(1)
+		return admission{j: j, key: key, id: id}, nil
+	}
+	if data, _, ok := s.cache.get(id); ok {
+		s.met.runsCacheHit.Add(1)
+		s.met.cacheHitsMem.Add(1)
+		return admission{cached: data, source: "cache", key: key, id: id}, nil
 	}
 	runCtx, cancel := context.WithCancel(s.baseCtx)
 	j := newJob(id, key, spec, runCtx, cancel, ephemeral)
@@ -288,26 +372,86 @@ func (s *Server) admit(spec RunSpec, ephemeral bool) (admission, error) {
 	return admission{j: j, key: key, id: id, created: true}, nil
 }
 
-// lookup finds an existing run by ID: the live job, the cached bytes, or a
-// failed-run tombstone (in that order — a fresh success must shadow an old
-// failure).
-func (s *Server) lookup(id string) (*job, []byte, string, bool) {
+// lookup finds an existing run by ID: the live job, the cached bytes (RAM,
+// then disk — a disk hit promotes), or a failed-run tombstone (in that
+// order — a fresh success must shadow an old failure). tier names the
+// finished tier that supplied data ("cache" or "disk"); it is empty when a
+// job is returned instead.
+func (s *Server) lookup(id string) (j *job, data []byte, key, tier string, ok bool) {
 	s.mu.Lock()
-	j, ok := s.live[id]
+	j, ok = s.live[id]
 	s.mu.Unlock()
 	if ok {
-		return j, nil, j.key, true
+		return j, nil, j.key, "", true
 	}
 	if data, key, ok := s.cache.get(id); ok {
-		return nil, data, key, true
+		s.met.cacheHitsMem.Add(1)
+		return nil, data, key, "cache", true
+	}
+	if data, key, ok := s.diskGetKeyed(id); ok {
+		s.met.cacheHitsDisk.Add(1)
+		return nil, data, key, "disk", true
 	}
 	s.mu.Lock()
 	j, ok = s.failed[id]
 	s.mu.Unlock()
 	if ok {
-		return j, nil, j.key, true
+		return j, nil, j.key, "", true
 	}
-	return nil, nil, "", false
+	return nil, nil, "", "", false
+}
+
+// diskGet reads id from the spill store, promoting a hit into the RAM tier.
+func (s *Server) diskGet(id string) ([]byte, bool) {
+	data, _, ok := s.diskGetKeyed(id)
+	return data, ok
+}
+
+// diskGetKeyed is diskGet returning the entry's canonical key too. The
+// content address is re-verified on the way in: an entry whose recorded key
+// does not hash back to the requested ID (a renamed or cross-wired file —
+// internally consistent, so the frame checksum alone cannot catch it) is
+// logged and treated as a miss, never served.
+func (s *Server) diskGetKeyed(id string) ([]byte, string, bool) {
+	if s.store == nil {
+		return nil, "", false
+	}
+	data, key, ok := s.store.Get(id)
+	if !ok {
+		return nil, "", false
+	}
+	if idFromKey(key) != id {
+		s.cfg.Logf("serve: spill entry %s fails content-address check (key %q); ignoring", id, key)
+		return nil, "", false
+	}
+	s.spill(s.cache.add(id, key, data))
+	return data, key, true
+}
+
+// spill demotes RAM-evicted entries to the disk tier (best effort: the write
+// path already wrote every finished stream through, so this is usually one
+// stat per entry — it only writes when the original write-through failed or
+// the entry was quarantined since).
+func (s *Server) spill(evicted []*cacheEntry) {
+	if s.store == nil {
+		return
+	}
+	for _, e := range evicted {
+		if err := s.store.Put(e.id, e.key, e.data); err != nil {
+			s.cfg.Logf("serve: demoting %s to disk: %v", e.id, err)
+		}
+	}
+}
+
+// publish moves one finished stream into the durable tiers: the RAM cache
+// (evictees demoting to disk) and, write-through, the spill store.
+func (s *Server) publish(id, key string, data []byte) {
+	s.spill(s.cache.add(id, key, data))
+	if s.store != nil {
+		if err := s.store.Put(id, key, data); err != nil {
+			s.cfg.Logf("serve: spilling %s to disk: %v", id, err)
+		}
+	}
 }
 
 // worker consumes jobs until the queue closes at drain.
@@ -320,9 +464,16 @@ func (s *Server) worker() {
 
 // runJob executes one job, seals its buffer, retires it from the
 // singleflight table, and — for clean completions only — moves the bytes
-// into the result cache. Failed or cancelled runs are never cached, so the
-// cache holds nothing but complete, summary-terminated streams.
+// into the result cache and spill store. Failed or cancelled runs are never
+// cached, so the cached tiers hold nothing but complete, summary-terminated
+// streams. When peers are configured, a fill from a warm peer pre-empts the
+// simulation entirely: the fetched bytes flow through the job's broadcast
+// buffer exactly as simulated bytes would, so concurrent waiters can't tell
+// the difference — and runs_started stays untouched, because nothing ran.
 func (s *Server) runJob(j *job) {
+	if s.peerFill(j) {
+		return
+	}
 	s.met.runsStarted.Add(1)
 	j.start()
 	err := s.runFn(j.runCtx, j.spec, j)
@@ -335,17 +486,29 @@ func (s *Server) runJob(j *job) {
 		// end for the same reason: admit must never observe a successful
 		// job in a visibly-cancelled intermediate state.
 		s.met.runsCompleted.Add(1)
-		s.cache.add(j.id, j.key, buf)
+		s.publish(j.id, j.key, buf)
 	} else {
 		s.met.runsFailed.Add(1)
 	}
+	s.retire(j, err, buf)
+	if err != nil {
+		s.cfg.Logf("serve: run %s failed: %v", j.id, err)
+		return
+	}
+	s.cfg.Logf("serve: run %s done (%d bytes)", j.id, len(buf))
+}
+
+// retire removes a finished job from the singleflight table and records its
+// outcome, then releases its run context.
+//
+// Identity check: an abandoned-then-retried tuple may have a fresh job
+// under the same ID by now. Only the CURRENT attempt retires its table
+// entry and records an outcome — a superseded job finishing late must
+// not plant a stale tombstone (or done record) that would shadow the
+// newer attempt's result. Its bytes are still fine to cache:
+// determinism makes them valid for the tuple regardless of attempt.
+func (s *Server) retire(j *job, err error, buf []byte) {
 	s.mu.Lock()
-	// Identity check: an abandoned-then-retried tuple may have a fresh job
-	// under the same ID by now. Only the CURRENT attempt retires its table
-	// entry and records an outcome — a superseded job finishing late must
-	// not plant a stale tombstone (or done record) that would shadow the
-	// newer attempt's result. Its bytes are still fine to cache above:
-	// determinism makes them valid for the tuple regardless of attempt.
 	if s.live[j.id] == j {
 		delete(s.live, j.id)
 		if err == nil {
@@ -361,11 +524,42 @@ func (s *Server) runJob(j *job) {
 	}
 	s.mu.Unlock()
 	j.cancel() // release the run context's resources
-	if err != nil {
-		s.cfg.Logf("serve: run %s failed: %v", j.id, err)
-		return
+}
+
+// peerFill tries to satisfy j from a peer's finished tiers before paying for
+// a simulation. Probes go peer by peer with the peer-fill contract (finished
+// bytes or 404 — a peer never simulates for us, so fills cannot cascade
+// through the fleet), and the fetched bytes are validated end to end by the
+// client before this returns them. On success the bytes flow through the
+// job's broadcast buffer and into both local tiers; every concurrent waiter
+// deduplicated onto j is served by this one probe. Shard sub-jobs are
+// exempt: their streams are per-shard aggregate states, not run events, and
+// the fabric's worker affinity already routes them to warm workers.
+func (s *Server) peerFill(j *job) bool {
+	if len(s.peers) == 0 || j.spec.Shard != nil {
+		return false
 	}
-	s.cfg.Logf("serve: run %s done (%d bytes)", j.id, len(buf))
+	for _, p := range s.peers {
+		if j.runCtx.Err() != nil {
+			return false // abandoned or draining; let runJob unwind it
+		}
+		data, err := p.FetchWarmRun(j.runCtx, j.id)
+		if err != nil {
+			if !errors.Is(err, qoe.ErrRunNotWarm) && j.runCtx.Err() == nil {
+				s.cfg.Logf("serve: peer fill %s: %v", j.id, err)
+			}
+			continue
+		}
+		j.start()
+		_, _ = j.Write(data)
+		buf := j.finish(nil)
+		s.met.cacheHitsPeer.Add(1)
+		s.publish(j.id, j.key, buf)
+		s.retire(j, nil, buf)
+		s.cfg.Logf("serve: run %s filled from peer (%d bytes)", j.id, len(buf))
+		return true
+	}
+	return false
 }
 
 // rememberFailedLocked tombstones a failed job (caller holds s.mu) and

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -277,4 +278,111 @@ func (c *Client) Healthy(ctx context.Context) bool {
 	}
 	resp.Body.Close()
 	return true
+}
+
+// PeerFillHeader marks a stream request as a peer-to-peer cache fill: the
+// serving daemon answers only from its FINISHED tiers (memory or disk) and
+// never admits a simulation on the asker's behalf. That asymmetry is what
+// keeps fleet warming cascade-free — a probe can fan out across every peer
+// without any of them starting work, and a daemon may even list itself as a
+// peer without recursing.
+const PeerFillHeader = "X-Qoe-Peer-Fill"
+
+// ErrRunNotWarm reports that a peer does not hold the requested run in a
+// finished tier; the asker falls back to the next peer or to simulation.
+var ErrRunNotWarm = errors.New("qoe: run not warm on peer")
+
+// ProbeRun asks (via HEAD, no body) whether the daemon holds run id in a
+// finished tier — the cheap existence check of the peer-fill protocol.
+func (c *Client) ProbeRun(ctx context.Context, id string) (bool, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodHead, c.baseURL+"/v1/runs/"+url.PathEscape(id)+"/stream", nil)
+	if err != nil {
+		return false, err
+	}
+	req.Header.Set(PeerFillHeader, "1")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return false, err
+	}
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return true, nil
+	case http.StatusNotFound:
+		return false, nil
+	default:
+		return false, fmt.Errorf("qoe: peer probe returned HTTP %d", resp.StatusCode)
+	}
+}
+
+// FetchWarmRun retrieves run id from a peer's finished tiers, returning the
+// raw NDJSON stream bytes. The stream is validated end to end before being
+// returned — schema_version checked, summary-terminated — so a garbled or
+// truncated peer response is an error, never a byte slice; callers can store
+// the result as-is and preserve byte identity with a fresh simulation.
+// ErrRunNotWarm means the peer simply doesn't hold the run.
+func (c *Client) FetchWarmRun(ctx context.Context, id string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+"/v1/runs/"+url.PathEscape(id)+"/stream", nil)
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set(PeerFillHeader, "1")
+	resp, err := c.httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch {
+	case resp.StatusCode == http.StatusNotFound:
+		return nil, ErrRunNotWarm
+	case resp.StatusCode != http.StatusOK:
+		return nil, apiError(resp)
+	}
+	var buf bytes.Buffer
+	if _, err := DecodeStream(io.TeeReader(resp.Body, &buf), discardSink{}); err != nil {
+		return nil, fmt.Errorf("qoe: peer stream for %s: %w", id, err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DaemonMetrics is the typed slice of a daemon's /metrics counter map that
+// fleet tooling consumes: run/admission outcomes, the per-tier cache hit
+// counters of the RAM → disk → peer hierarchy, and the durable store gauges.
+// Unknown counters are ignored, so old clients read new daemons cleanly.
+type DaemonMetrics struct {
+	RunsAccepted  int64 `json:"runs_accepted"`
+	RunsDeduped   int64 `json:"runs_deduped"`
+	RunsCacheHit  int64 `json:"runs_cache_hit"`
+	RunsRejected  int64 `json:"runs_rejected"`
+	RunsStarted   int64 `json:"runs_started"`
+	RunsCompleted int64 `json:"runs_completed"`
+	RunsFailed    int64 `json:"runs_failed"`
+
+	CacheHitsMem  int64   `json:"cache_hits_mem"`
+	CacheHitsDisk int64   `json:"cache_hits_disk"`
+	CacheHitsPeer int64   `json:"cache_hits_peer"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+
+	CacheBytes   int64 `json:"cache_bytes"`
+	CacheEntries int64 `json:"cache_entries"`
+
+	StoreEntries     int64 `json:"store_entries"`
+	StoreBytes       int64 `json:"store_bytes"`
+	StoreQuarantined int64 `json:"store_quarantined"`
+
+	BytesStreamed int64 `json:"bytes_streamed"`
+}
+
+// Metrics fetches and decodes the daemon's /metrics counter map.
+func (c *Client) Metrics(ctx context.Context) (DaemonMetrics, error) {
+	resp, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return DaemonMetrics{}, err
+	}
+	defer resp.Body.Close()
+	var m DaemonMetrics
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return DaemonMetrics{}, fmt.Errorf("qoe: decoding metrics: %w", err)
+	}
+	return m, nil
 }

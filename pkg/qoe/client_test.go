@@ -187,3 +187,134 @@ func TestClientTruncatedRun(t *testing.T) {
 		t.Fatalf("truncated run = %v, want ErrTruncatedStream", err)
 	}
 }
+
+// TestClientProbeAndFetchWarmRun: the peer-fill protocol end to end against
+// a real daemon — HEAD probe answers from finished tiers only, the fetch
+// returns the exact warm bytes, and a cold ID is ErrRunNotWarm, not an
+// admission.
+func TestClientProbeAndFetchWarmRun(t *testing.T) {
+	s := serve.New(serve.Config{Workers: 2})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	c := qoe.NewClient(ts.URL, nil)
+	req := qoe.RunRequest{Experiments: []string{"table1"}, Scale: qoe.ScaleQuick, Seed: 1}
+
+	spec, err := serve.Canonicalize(req.Experiments, nil, string(req.Scale), req.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := spec.ID()
+
+	// Cold daemon: the probe is a clean miss and the fetch a typed error —
+	// and neither may have admitted a run.
+	if warm, err := c.ProbeRun(context.Background(), id); err != nil || warm {
+		t.Fatalf("cold probe = %v, %v; want false, nil", warm, err)
+	}
+	if _, err := c.FetchWarmRun(context.Background(), id); !errors.Is(err, qoe.ErrRunNotWarm) {
+		t.Fatalf("cold fetch = %v, want ErrRunNotWarm", err)
+	}
+
+	warmBytes, err := c.RunBytes(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if warm, err := c.ProbeRun(context.Background(), id); err != nil || !warm {
+		t.Fatalf("warm probe = %v, %v; want true, nil", warm, err)
+	}
+	fetched, err := c.FetchWarmRun(context.Background(), id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fetched, warmBytes) {
+		t.Fatal("FetchWarmRun bytes differ from the run's own stream")
+	}
+
+	m, err := c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RunsStarted != 1 {
+		t.Fatalf("runs_started = %d, want 1 (probes and fetches must not simulate)", m.RunsStarted)
+	}
+}
+
+// TestClientFetchWarmRunValidates: a peer answering 200 with a garbled or
+// summary-less stream is an error — corrupt bytes never enter the local
+// store.
+func TestClientFetchWarmRunValidates(t *testing.T) {
+	garbled := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte("not ndjson at all\n"))
+	}))
+	defer garbled.Close()
+	if _, err := qoe.NewClient(garbled.URL, nil).FetchWarmRun(context.Background(), "deadbeef"); err == nil || errors.Is(err, qoe.ErrRunNotWarm) {
+		t.Fatalf("garbled fetch = %v, want a decode error", err)
+	}
+
+	truncated := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`{"schema_version":1,"type":"progress","stage":"experiment","completed":0,"total":1}` + "\n"))
+	}))
+	defer truncated.Close()
+	if _, err := qoe.NewClient(truncated.URL, nil).FetchWarmRun(context.Background(), "deadbeef"); !errors.Is(err, qoe.ErrTruncatedStream) {
+		t.Fatalf("truncated fetch = %v, want ErrTruncatedStream", err)
+	}
+}
+
+// TestClientMetricsTypedDecode: the typed metrics slice tracks the daemon's
+// counter map across the tier split.
+func TestClientMetricsTypedDecode(t *testing.T) {
+	dir := t.TempDir()
+	s := serve.New(serve.Config{Workers: 2, StoreDir: dir})
+	ts := httptest.NewServer(s)
+	t.Cleanup(ts.Close)
+	t.Cleanup(s.Close)
+	c := qoe.NewClient(ts.URL, nil)
+	req := qoe.RunRequest{Experiments: []string{"table1"}, Scale: qoe.ScaleQuick, Seed: 1}
+
+	if _, err := c.RunBytes(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	// The stream returns just before the finished run publishes to the RAM +
+	// disk tiers; wait for the publish so the second request is a mem hit,
+	// not a dedup onto the still-live job.
+	var m qoe.DaemonMetrics
+	var err error
+	for deadline := time.Now().Add(5 * time.Second); ; {
+		m, err = c.Metrics(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.StoreEntries == 1 && m.CacheEntries == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("tiers never settled: %+v", m)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if _, err := c.RunBytes(context.Background(), req); err != nil {
+		t.Fatal(err)
+	}
+	m, err = c.Metrics(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.RunsStarted != 1 || m.RunsAccepted != 1 {
+		t.Fatalf("started/accepted = %d/%d, want 1/1", m.RunsStarted, m.RunsAccepted)
+	}
+	if m.CacheHitsMem != 1 || m.RunsCacheHit != 1 {
+		t.Fatalf("mem hits = %d (admission hits %d), want 1", m.CacheHitsMem, m.RunsCacheHit)
+	}
+	if m.CacheHitRate <= 0 || m.CacheHitRate > 1 {
+		t.Fatalf("cache_hit_rate = %v, want in (0, 1]", m.CacheHitRate)
+	}
+	if m.StoreEntries != 1 || m.StoreBytes <= 0 || m.StoreQuarantined != 0 {
+		t.Fatalf("store gauges = %d entries / %d bytes / %d quarantined",
+			m.StoreEntries, m.StoreBytes, m.StoreQuarantined)
+	}
+	if m.BytesStreamed <= 0 || m.CacheBytes <= 0 || m.CacheEntries != 1 {
+		t.Fatalf("bytes_streamed=%d cache_bytes=%d cache_entries=%d",
+			m.BytesStreamed, m.CacheBytes, m.CacheEntries)
+	}
+}

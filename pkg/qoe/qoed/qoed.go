@@ -25,6 +25,14 @@
 // Config whose Population/Fabric fields carry the coordinator — splits each
 // canonical pop-* study across its worker pool and reduces the returned
 // aggregates into the byte-identical single-node stream.
+//
+// The result tier is hierarchical — RAM → disk → peers → simulate.
+// Config.StoreDir mounts a content-addressed disk spill store under the LRU
+// (atomic checksummed writes, corrupt entries quarantined and re-simulated,
+// survives restarts); Config.Peers lists sibling daemons whose finished
+// tiers are probed before paying for a simulation; and Server.Prewarm walks
+// a grid of hot tuples through normal admission at boot. See EXPERIMENTS.md
+// "Durable cache & fleet warming".
 package qoed
 
 import (
@@ -46,8 +54,34 @@ type Server = serve.Server
 // Canonicalize when constructing requests programmatically.
 type RunSpec = serve.RunSpec
 
-// New builds a Server and starts its worker pool.
+// New builds a Server and starts its worker pool. If Config.StoreDir is set
+// but the spill store cannot be opened, New degrades to serving without the
+// durable tier; use Open when that must be fatal instead.
 func New(cfg Config) *Server { return serve.New(cfg) }
+
+// Open builds a Server like New but fails when the configured disk spill
+// store cannot be opened, instead of silently serving memory-only.
+func Open(cfg Config) (*Server, error) { return serve.Open(cfg) }
+
+// PrewarmGrid declares the hot tuple set a daemon computes at boot; see
+// LoadPrewarmGrid for the JSON file format and DefaultPrewarmGrid for the
+// catalog-derived default.
+type PrewarmGrid = serve.PrewarmGrid
+
+// PrewarmTuple is one experiments × scales × seeds cross-product group of a
+// prewarm grid.
+type PrewarmTuple = serve.PrewarmTuple
+
+// PrewarmStats reports one prewarm walk: tuples computed, tuples already
+// warm in some tier, tuples failed.
+type PrewarmStats = serve.PrewarmStats
+
+// LoadPrewarmGrid reads a prewarm grid from a JSON file.
+func LoadPrewarmGrid(path string) (PrewarmGrid, error) { return serve.LoadPrewarmGrid(path) }
+
+// DefaultPrewarmGrid derives the hot set from the catalog: every experiment
+// at quick scale, seed 1.
+func DefaultPrewarmGrid() PrewarmGrid { return serve.DefaultPrewarmGrid() }
 
 // Canonicalize resolves a raw selection (experiments/scenarios synonyms,
 // scale name, seed) into the canonical RunSpec the server dedups and caches
