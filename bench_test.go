@@ -176,6 +176,57 @@ func BenchmarkPopRatingExperiment(b *testing.B) {
 	}
 }
 
+// BenchmarkPopSweep runs the fixed-budget noticeability crossover through
+// the registry at the canonical quick-scale tuple (the golden
+// configuration): five page-load sweeps plus five 25k-voter panels.
+// votes/op reports the simulated votes — the denominator of the adaptive
+// variant's savings.
+func BenchmarkPopSweep(b *testing.B) {
+	e, ok := experiments.Lookup("pop-sweep")
+	if !ok {
+		b.Fatal("pop-sweep not registered")
+	}
+	var votes int64
+	for i := 0; i < b.N; i++ {
+		tb := core.NewTestbed(core.QuickScale(), 1)
+		res, err := e.Run(context.Background(), tb, experiments.Options{Scale: core.QuickScale(), Seed: core.DeriveSeed(1, e.Name())})
+		if err != nil {
+			b.Fatal(err)
+		}
+		votes = 0
+		for _, row := range res.(experiments.PopSweepResult).Rows {
+			votes += row.N
+		}
+	}
+	b.ReportMetric(float64(votes), "votes/op")
+}
+
+// BenchmarkPopSweepAdaptive runs the sequential-stopping crossover at the
+// same canonical tuple. The acceptance bar is votes/op at least 5x below
+// BenchmarkPopSweep's (the committed goldens pin 7,820 of 125,000 — 16x);
+// tools/benchdiff compares the recorded rows.
+func BenchmarkPopSweepAdaptive(b *testing.B) {
+	e, ok := experiments.Lookup("pop-sweep-adaptive")
+	if !ok {
+		b.Fatal("pop-sweep-adaptive not registered")
+	}
+	var votes, budget int64
+	for i := 0; i < b.N; i++ {
+		tb := core.NewTestbed(core.QuickScale(), 1)
+		res, err := e.Run(context.Background(), tb, experiments.Options{Scale: core.QuickScale(), Seed: core.DeriveSeed(1, e.Name())})
+		if err != nil {
+			b.Fatal(err)
+		}
+		votes, budget = 0, 0
+		for _, row := range res.(experiments.PopSweepAdaptiveResult).Rows {
+			votes += row.N
+			budget += row.Budget
+		}
+	}
+	b.ReportMetric(float64(votes), "votes/op")
+	b.ReportMetric(float64(budget-votes), "votes-saved/op")
+}
+
 // ---- substrate micro-benchmarks ----
 
 // BenchmarkSimnetSchedule measures the pooled scheduler hot path: one

@@ -54,6 +54,14 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the run to `file` (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile taken after the run to `file`")
 	benchTrace := flag.String("bench-trace", "", "write a runtime execution trace of the run to `file` (go tool trace)")
+	// The adaptive-* flags override the canonical sequential-stopping policy
+	// of adaptive experiments (pop-sweep-adaptive). The policy shapes the
+	// result bytes, so any override leaves the golden/cacheable tuple space —
+	// use them for exploration, not for pinned artifacts.
+	adaptiveAlpha := flag.Float64("adaptive-alpha", 0, "adaptive studies: error budget of the always-valid confidence sequence (0 = canonical)")
+	adaptiveThreshold := flag.Float64("adaptive-threshold", 0, "adaptive studies: noticeability share the stopping rule decides against (0 = canonical)")
+	adaptiveMinShards := flag.Int("adaptive-min-shards", 0, "adaptive studies: shards every cell runs before its first look (0 = canonical)")
+	adaptiveRoundShards := flag.Int("adaptive-round-shards", 0, "adaptive studies: shards granted per allocation round (0 = canonical)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: qoebench [-scale quick|standard|paper] [-seed N] [-format text|csv|json] [-parallel N] [-stream] [-timeout DUR] <experiment> [experiment ...]\n")
 		fmt.Fprintf(os.Stderr, "       qoebench -list\n")
@@ -110,12 +118,21 @@ func main() {
 		sink = qoe.StreamSink(os.Stdout)
 	}
 
-	sess, err := qoe.NewSession(
+	opts := []qoe.Option{
 		qoe.WithScale(sc),
 		qoe.WithSeed(*seed),
 		qoe.WithParallelism(*parallel),
 		qoe.WithScenarios(flag.Args()...),
-	)
+	}
+	if *adaptiveAlpha != 0 || *adaptiveThreshold != 0 || *adaptiveMinShards != 0 || *adaptiveRoundShards != 0 {
+		opts = append(opts, qoe.WithAdaptive(qoe.AdaptiveConfig{
+			Alpha:       *adaptiveAlpha,
+			Threshold:   *adaptiveThreshold,
+			MinShards:   *adaptiveMinShards,
+			RoundShards: *adaptiveRoundShards,
+		}))
+	}
+	sess, err := qoe.NewSession(opts...)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "qoebench: %v\n", err)
 		os.Exit(2)

@@ -21,9 +21,11 @@ import (
 	"repro/pkg/qoe/qoed"
 )
 
-// TestDistributedGoldenOutputs runs the two canonical population studies
-// with the engine call distributed over two in-process qoed workers and
-// diffs text and CSV output against the committed in-process goldens.
+// TestDistributedGoldenOutputs runs the canonical population studies —
+// including the adaptive sweep, whose round grants ship through the fabric
+// as per-cell shard ranges — with the engine call distributed over two
+// in-process qoed workers and diffs text and CSV output against the
+// committed in-process goldens.
 func TestDistributedGoldenOutputs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full population runs over a worker pool")
@@ -49,7 +51,7 @@ func TestDistributedGoldenOutputs(t *testing.T) {
 	ran := 0
 	for _, e := range experiments.All() {
 		name := e.Name()
-		if name != "pop-ab" && name != "pop-rating" {
+		if name != "pop-ab" && name != "pop-rating" && name != qoe.StudyPopSweepAdaptive {
 			continue
 		}
 		ran++
@@ -72,14 +74,19 @@ func TestDistributedGoldenOutputs(t *testing.T) {
 			requireGolden(t, name+".csv", csv.Bytes())
 		})
 	}
-	if ran != 2 {
-		t.Fatalf("found %d canonical population experiments in the registry, want 2", ran)
+	if ran != 3 {
+		t.Fatalf("found %d canonical population experiments in the registry, want 3", ran)
 	}
 
-	// Both studies must have gone through the fabric, not the local fallback.
+	// The two fixed-budget studies must have gone through the whole-study
+	// reduce path, and the adaptive study's round grants through the
+	// per-cell shard path — never the local fallback.
 	var counters struct {
-		Reduced  int64 `json:"studies_reduced"`
-		FellBack int64 `json:"studies_fell_back"`
+		Reduced        int64 `json:"studies_reduced"`
+		FellBack       int64 `json:"studies_fell_back"`
+		AdaptiveGrants int64 `json:"adaptive_grants"`
+		AdaptiveShards int64 `json:"adaptive_shards"`
+		AdaptiveLocal  int64 `json:"adaptive_fell_back"`
 	}
 	if err := json.Unmarshal([]byte(fab.Vars().String()), &counters); err != nil {
 		t.Fatal(err)
@@ -87,6 +94,10 @@ func TestDistributedGoldenOutputs(t *testing.T) {
 	if counters.Reduced != 2 || counters.FellBack != 0 {
 		t.Errorf("fabric counters: studies_reduced=%d studies_fell_back=%d, want 2 and 0",
 			counters.Reduced, counters.FellBack)
+	}
+	if counters.AdaptiveGrants == 0 || counters.AdaptiveShards < counters.AdaptiveGrants || counters.AdaptiveLocal != 0 {
+		t.Errorf("fabric counters: adaptive_grants=%d adaptive_shards=%d adaptive_fell_back=%d, want grants>0, shards>=grants, fell_back=0",
+			counters.AdaptiveGrants, counters.AdaptiveShards, counters.AdaptiveLocal)
 	}
 }
 

@@ -1,0 +1,6 @@
+//go:build !race
+
+package adaptive
+
+// raceEnabled mirrors internal/race.Enabled; see race_enabled_test.go.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package adaptive
+
+// raceEnabled mirrors internal/race.Enabled for the alloc gates: the race
+// detector's instrumentation allocates on its own, so exact
+// AllocsPerRun comparisons are only meaningful without it.
+const raceEnabled = true

@@ -22,6 +22,18 @@ type PopulationBackend interface {
 	RunRating(ctx context.Context, cells []population.RatingCell, cfg population.Config) (population.RatingResult, error)
 }
 
+// AdaptiveBackend is the optional PopulationBackend extension the fabric
+// implements to distribute adaptive studies: one shard-range grant of one
+// grid cell, addressed by the study name and cell index so a worker can
+// rebuild the identical cell from its own testbed. The cells and config
+// travel too, which lets the backend verify the call is the canonical one
+// for its tuple (and fall back to local execution when it is not). Grants
+// happen only at round barriers, so the backend never sees — and can never
+// introduce — mid-shard allocation decisions.
+type AdaptiveBackend interface {
+	RunABShardRange(ctx context.Context, study string, cell int, cells []population.ABCell, cfg population.Config, r population.ShardRange) ([]population.ABShardState, error)
+}
+
 // PopABCells exposes the pop-ab stimulus grid for out-of-process execution:
 // a worker rebuilds the identical cells from the same testbed.
 func PopABCells(tb *core.Testbed) ([]population.ABCell, error) { return popABCells(tb) }

@@ -110,7 +110,7 @@ func TestSeedChangesVotesNotShapes(t *testing.T) {
 func TestRegistryCoversAllExperiments(t *testing.T) {
 	want := []string{"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6",
 		"ablate-iw", "ablate-pacing", "ablate-hol", "ext-0rtt",
-		"pop-ab", "pop-rating", "pop-sweep"}
+		"pop-ab", "pop-rating", "pop-sweep", "pop-sweep-adaptive"}
 	got := Names()
 	if len(got) != len(want) {
 		t.Fatalf("registered = %v, want %v", got, want)

@@ -38,6 +38,22 @@ type Options struct {
 	// Population, when non-nil, executes the canonical pop-ab / pop-rating
 	// engine calls (e.g. on a distributed worker pool). Nil runs in process.
 	Population PopulationBackend
+	// Adaptive, when non-nil, overrides the canonical sequential-stopping
+	// policy of adaptive experiments (pop-sweep-adaptive). Nil keeps the
+	// canonical policy — which is what golden, cached, and fabric runs
+	// must use, since the policy shapes the byte stream.
+	Adaptive *AdaptiveOptions
+}
+
+// AdaptiveOptions tunes adaptive experiments; zero fields keep the
+// canonical defaults (see PopSweepAdaptiveConfig). Workers is execution
+// parallelism only and never changes result bytes.
+type AdaptiveOptions struct {
+	Alpha       float64
+	Threshold   float64
+	MinShards   int
+	RoundShards int
+	Workers     int
 }
 
 // DefaultOptions uses the quick scale with the canonical seed.

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestPopSweepAdaptiveSavesVotes pins the tentpole acceptance criterion:
+// run pop-sweep and pop-sweep-adaptive over the SAME seed (so both see the
+// identical stimuli and per-step seed streams) and require the adaptive run
+// to locate the same crossover while simulating at least 5x fewer votes —
+// both counts taken from the runs' own vote counters.
+func TestPopSweepAdaptiveSavesVotes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population-scale run")
+	}
+	tb := core.NewTestbed(core.QuickScale(), 1)
+	opts := Options{Scale: tb.Scale, Seed: core.DeriveSeed(1, "pop-sweep")}
+	full, err := popSweepRun(context.Background(), tb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptiveRes, err := popSweepAdaptiveRun(context.Background(), tb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.HasCross != adaptiveRes.HasCross || full.Crossover != adaptiveRes.Crossover {
+		t.Fatalf("crossover mismatch: fixed-budget (has=%v, factor=%g) vs adaptive (has=%v, factor=%g)",
+			full.HasCross, full.Crossover, adaptiveRes.HasCross, adaptiveRes.Crossover)
+	}
+	var fullVotes int64
+	for _, row := range full.Rows {
+		fullVotes += row.N
+	}
+	if adaptiveRes.Votes <= 0 || fullVotes != adaptiveRes.VotesBudget {
+		t.Fatalf("budget accounting: fixed run simulated %d votes, adaptive reports budget %d", fullVotes, adaptiveRes.VotesBudget)
+	}
+	if fullVotes < 5*adaptiveRes.Votes {
+		t.Fatalf("adaptive simulated %d votes vs %d fixed — less than the required 5x saving", adaptiveRes.Votes, fullVotes)
+	}
+	// Same reported precision: every decided step's interval must exclude
+	// the threshold its outcome claims, and the near-threshold reading of
+	// exhausted steps equals the fixed run's (truncation invariant at full
+	// budget).
+	for i, row := range adaptiveRes.Rows {
+		switch row.Outcome {
+		case "noticeable":
+			if row.Noticed.Lo <= 0.5 {
+				t.Fatalf("step %d noticeable but interval lo %.4f", i, row.Noticed.Lo)
+			}
+		case "not-noticeable":
+			if row.Noticed.Hi >= 0.5 {
+				t.Fatalf("step %d not-noticeable but interval hi %.4f", i, row.Noticed.Hi)
+			}
+		case "exhausted":
+			if row.N != full.Rows[i].N || row.Noticed.Point != full.Rows[i].Noticed.Point {
+				t.Fatalf("step %d exhausted but differs from the fixed-budget run", i)
+			}
+		}
+	}
+}
+
+// TestPopSweepAdaptiveByteIdenticalAcrossWorkers: the experiment's rendered
+// output — text and CSV, decisions included — must be byte-identical at
+// worker counts {1, 4, NumCPU}.
+func TestPopSweepAdaptiveByteIdenticalAcrossWorkers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population-scale run")
+	}
+	tb := core.NewTestbed(core.QuickScale(), 1)
+	seed := core.DeriveSeed(1, popSweepAdaptiveName)
+	var baseTxt, baseCSV []byte
+	for i, w := range []int{1, 4, runtime.NumCPU()} {
+		res, err := popSweepAdaptiveRun(context.Background(), tb, Options{
+			Scale: tb.Scale, Seed: seed, Adaptive: &AdaptiveOptions{Workers: w},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var txt, csv bytes.Buffer
+		res.Render(&txt)
+		if err := res.CSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			baseTxt, baseCSV = txt.Bytes(), csv.Bytes()
+			continue
+		}
+		if !bytes.Equal(txt.Bytes(), baseTxt) {
+			t.Fatalf("workers=%d: text output differs from workers=1", w)
+		}
+		if !bytes.Equal(csv.Bytes(), baseCSV) {
+			t.Fatalf("workers=%d: csv output differs from workers=1", w)
+		}
+	}
+}
+
+// TestPopSweepAdaptiveDecisions: one decision per step, in grid order, each
+// consistent with its row.
+func TestPopSweepAdaptiveDecisions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population-scale run")
+	}
+	tb := core.NewTestbed(core.QuickScale(), 1)
+	res, err := popSweepAdaptiveRun(context.Background(), tb, Options{Scale: tb.Scale, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	decs := res.Decisions()
+	if len(decs) != len(res.Rows) {
+		t.Fatalf("%d decisions for %d rows", len(decs), len(res.Rows))
+	}
+	for i, d := range decs {
+		row := res.Rows[i]
+		if d.Index != i || d.Experiment != popSweepAdaptiveName {
+			t.Fatalf("decision %d addressing: %+v", i, d)
+		}
+		if d.Outcome != row.Outcome || d.Votes != row.N || d.Budget != row.Budget ||
+			d.Point != row.Noticed.Point || d.Level != row.Noticed.Level {
+			t.Fatalf("decision %d diverges from its row", i)
+		}
+	}
+}

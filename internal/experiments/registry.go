@@ -53,7 +53,7 @@ var (
 var canonicalOrder = []string{
 	"table1", "table2", "table3", "fig3", "fig4", "fig5", "fig6",
 	"ablate-iw", "ablate-pacing", "ablate-hol", "ext-0rtt",
-	"pop-ab", "pop-rating", "pop-sweep",
+	"pop-ab", "pop-rating", "pop-sweep", "pop-sweep-adaptive",
 }
 
 // Register adds an experiment to the registry. It panics on duplicate names

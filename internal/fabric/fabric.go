@@ -137,7 +137,12 @@ type Coordinator struct {
 	studiesReduced  expvar.Int
 	studiesFailed   expvar.Int
 	studiesFellBack expvar.Int
-	vars            *expvar.Map
+	// Adaptive-study counters: round-barrier grants dispatched as sub-jobs,
+	// the shards they covered, and non-canonical calls that ran locally.
+	adaptiveGrants   expvar.Int
+	adaptiveShards   expvar.Int
+	adaptiveFellBack expvar.Int
+	vars             *expvar.Map
 }
 
 // affinityRetention bounds the warm-worker affinity table.
@@ -164,6 +169,9 @@ func New(cfg Config) (*Coordinator, error) {
 	c.vars.Set("studies_reduced", &c.studiesReduced)
 	c.vars.Set("studies_failed", &c.studiesFailed)
 	c.vars.Set("studies_fell_back", &c.studiesFellBack)
+	c.vars.Set("adaptive_grants", &c.adaptiveGrants)
+	c.vars.Set("adaptive_shards", &c.adaptiveShards)
+	c.vars.Set("adaptive_fell_back", &c.adaptiveFellBack)
 	c.vars.Set("workers", expvar.Func(func() any { return len(c.workers) }))
 	c.vars.Set("workers_healthy", expvar.Func(func() any {
 		n := 0
@@ -278,9 +286,10 @@ func (c *Coordinator) nextWorker() *worker {
 }
 
 // subJobKey identifies a sub-job across studies: the exact tuple a worker's
-// result cache keys its shard stream by.
-func subJobKey(plan Plan, r qoe.ShardRange) string {
-	return fmt.Sprintf("%s|%s|%d|%s", plan.Study, plan.Scale, plan.Seed, r)
+// result cache keys its shard stream by. Cell joins the key so two grants
+// of different adaptive cells can never share a warm home entry.
+func subJobKey(req qoe.ShardRequest) string {
+	return fmt.Sprintf("%s|%d|%s|%d|%s", req.Study, req.Cell, req.Scale, req.Seed, req.Range)
 }
 
 // warmWorker returns the worker that last completed this sub-job, if it is
@@ -322,9 +331,9 @@ func (c *Coordinator) recordAffinity(key string, w *worker) {
 // exponentially from Config.Backoff, or the server's Retry-After hint on a
 // 429 if longer. A success re-marks the worker healthy and records it as
 // the sub-job's warm home.
-func (c *Coordinator) runJob(ctx context.Context, plan Plan, r qoe.ShardRange) ([]qoe.ShardData, error) {
-	req := qoe.ShardRequest{Study: plan.Study, Scale: plan.Scale, Seed: plan.Seed, Range: r}
-	key := subJobKey(plan, r)
+func (c *Coordinator) runJob(ctx context.Context, req qoe.ShardRequest) ([]qoe.ShardData, error) {
+	r := req.Range
+	key := subJobKey(req)
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -398,7 +407,7 @@ func (c *Coordinator) dispatch(ctx context.Context, plan Plan) ([]qoe.ShardData,
 			case <-ctx.Done():
 				return
 			}
-			data, err := c.runJob(ctx, plan, r)
+			data, err := c.runJob(ctx, qoe.ShardRequest{Study: plan.Study, Scale: plan.Scale, Seed: plan.Seed, Range: r})
 			if err != nil {
 				errMu.Lock()
 				if firstErr == nil && !errors.Is(err, context.Canceled) {
@@ -522,7 +531,62 @@ func (b tupleBackend) RunRating(ctx context.Context, cells []population.RatingCe
 	return res, nil
 }
 
+// RunABShardRange implements experiments.AdaptiveBackend: one round-barrier
+// grant of one adaptive-study cell, dispatched as a single sub-job through
+// the same retry/affinity machinery as fixed-budget sub-jobs. The guard
+// mirrors RunAB's: only the canonical cell config for this view's master
+// seed is distributed — the cell's config embeds its derived seed, so a
+// foreign tuple (tests, ad-hoc engine calls, overridden adaptive policies
+// changing nothing here — the policy lives above this call) can never be
+// mis-distributed — everything else runs locally. Grants happen only at
+// round barriers (the adaptive engine's contract), so the coordinator's
+// accumulator fold sees exactly the states a local run would produce.
+func (b tupleBackend) RunABShardRange(ctx context.Context, study string, cell int, cells []population.ABCell, cfg population.Config, r population.ShardRange) ([]population.ABShardState, error) {
+	if !b.canonicalAdaptiveGrant(study, cell, cfg) {
+		b.c.adaptiveFellBack.Add(1)
+		return population.RunABRange(ctx, cells, cfg, r)
+	}
+	req := qoe.ShardRequest{
+		Study: study, Cell: cell, Scale: b.scale, Seed: b.seed,
+		Range: qoe.ShardRange{Lo: r.Lo, Hi: r.Hi},
+	}
+	data, err := b.c.runJob(ctx, req)
+	if err != nil {
+		b.c.studiesFailed.Add(1)
+		return nil, err
+	}
+	states := make([]population.ABShardState, len(data))
+	for i, d := range data {
+		if err := json.Unmarshal(d.State, &states[i]); err != nil {
+			b.c.studiesFailed.Add(1)
+			return nil, fmt.Errorf("fabric: decoding adaptive shard %d state: %w", d.Shard, err)
+		}
+	}
+	b.c.adaptiveGrants.Add(1)
+	b.c.adaptiveShards.Add(int64(len(states)))
+	return states, nil
+}
+
+// canonicalAdaptiveGrant reports whether a shard-range grant addresses the
+// canonical adaptive study cell for this view's master seed: the study is
+// known, the cell index is in the grid, and the config is exactly the
+// canonical derivation (which pins participants, votes, and the cell's own
+// derived seed).
+func (b tupleBackend) canonicalAdaptiveGrant(study string, cell int, cfg population.Config) bool {
+	if study != qoe.StudyPopSweepAdaptive {
+		return false
+	}
+	cfgs := experiments.PopSweepAdaptiveCellConfigs(core.DeriveSeed(b.seed, study))
+	return cell >= 0 && cell < len(cfgs) && cfg == cfgs[cell]
+}
+
 // Backend returns the coordinator as the session-facing population backend
 // at the default tuple; it exists for call-site clarity
 // (qoe.WithPopulationBackend(f.Backend())).
 func (c *Coordinator) Backend() experiments.PopulationBackend { return c }
+
+// RunABShardRange implements experiments.AdaptiveBackend at the Config
+// default tuple; see tupleBackend.RunABShardRange.
+func (c *Coordinator) RunABShardRange(ctx context.Context, study string, cell int, cells []population.ABCell, cfg population.Config, r population.ShardRange) ([]population.ABShardState, error) {
+	return tupleBackend{c: c, scale: c.cfg.Scale, seed: c.cfg.Seed}.RunABShardRange(ctx, study, cell, cells, cfg, r)
+}

@@ -52,11 +52,13 @@ func newWorker(t testing.TB, wrap func(http.Handler) http.Handler) *httptest.Ser
 		seed, _ := strconv.ParseInt(q.Get("seed"), 10, 64)
 		lo, _ := strconv.Atoi(q.Get("lo"))
 		hi, _ := strconv.Atoi(q.Get("hi"))
+		cell, _ := strconv.Atoi(q.Get("cell"))
 		req := qoe.ShardRequest{
 			Study: q.Get("study"),
 			Scale: qoe.Scale(q.Get("scale")),
 			Seed:  seed,
 			Range: qoe.ShardRange{Lo: lo, Hi: hi},
+			Cell:  cell,
 		}
 		if err := sharedExec.Run(r.Context(), req, w); err != nil {
 			http.Error(w, err.Error(), http.StatusBadRequest)
@@ -312,6 +314,77 @@ func TestNonCanonicalConfigFallsBackLocally(t *testing.T) {
 	}
 	if got := c.studiesFellBack.Value(); got != 1 {
 		t.Errorf("studies_fell_back = %d, want 1", got)
+	}
+	if got := c.jobsDispatched.Value(); got != 0 {
+		t.Errorf("jobs_dispatched = %d, want 0", got)
+	}
+}
+
+// TestAdaptiveShardRangeDistributes: a canonical round grant of the
+// adaptive study ships to the worker pool as a per-cell shard range and
+// returns exactly the states a local engine call produces, with the grant
+// visible in the adaptive counters.
+func TestAdaptiveShardRangeDistributes(t *testing.T) {
+	const master = 1
+	c := newCoordinator(t, Config{Workers: workerPool(t, 2, nil), Scale: qoe.ScaleQuick, Seed: master})
+	specs, err := experiments.PopSweepAdaptiveSpecs(refTestbed(), core.DeriveSeed(master, qoe.StudyPopSweepAdaptive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cell = 1
+	rng := population.ShardRange{Lo: 0, Hi: 3}
+	want, err := population.RunABRange(context.Background(), specs[cell].Cells, specs[cell].Config, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.RunABShardRange(context.Background(), qoe.StudyPopSweepAdaptive, cell, specs[cell].Cells, specs[cell].Config, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("distributed adaptive grant diverged from local engine call")
+	}
+	if grants, shards := c.adaptiveGrants.Value(), c.adaptiveShards.Value(); grants != 1 || shards != int64(rng.Count()) {
+		t.Errorf("adaptive_grants = %d, adaptive_shards = %d, want 1 and %d", grants, shards, rng.Count())
+	}
+	if got := c.adaptiveFellBack.Value(); got != 0 {
+		t.Errorf("adaptive_fell_back = %d, want 0", got)
+	}
+}
+
+// TestAdaptiveShardRangeFallsBackLocally: a grant whose config is not the
+// canonical adaptive cell config never reaches a worker — the worker would
+// re-derive the canonical cell and silently compute the wrong bytes — so
+// the coordinator runs it locally and counts the fallback.
+func TestAdaptiveShardRangeFallsBackLocally(t *testing.T) {
+	poisoned := func(next http.Handler) http.Handler {
+		return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			t.Error("non-canonical adaptive grant was dispatched to a worker")
+			http.Error(w, "unreachable", http.StatusInternalServerError)
+		})
+	}
+	pool := workerPool(t, 1, map[int]func(http.Handler) http.Handler{0: poisoned})
+	c := newCoordinator(t, Config{Workers: pool, Scale: qoe.ScaleQuick, Seed: 1})
+	specs, err := experiments.PopSweepAdaptiveSpecs(refTestbed(), core.DeriveSeed(1, qoe.StudyPopSweepAdaptive))
+	if err != nil {
+		t.Fatal(err)
+	}
+	adhoc := specs[0].Config
+	adhoc.Participants /= 2 // no longer the canonical cell config
+	rng := population.ShardRange{Lo: 0, Hi: 2}
+	want, err := population.RunABRange(context.Background(), specs[0].Cells, adhoc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.RunABShardRange(context.Background(), qoe.StudyPopSweepAdaptive, 0, specs[0].Cells, adhoc, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("local adaptive fallback diverged from direct engine call")
+	}
+	if got := c.adaptiveFellBack.Value(); got != 1 {
+		t.Errorf("adaptive_fell_back = %d, want 1", got)
 	}
 	if got := c.jobsDispatched.Value(); got != 0 {
 		t.Errorf("jobs_dispatched = %d, want 0", got)

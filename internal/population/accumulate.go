@@ -1,0 +1,252 @@
+package population
+
+import (
+	"fmt"
+
+	"repro/internal/conformance"
+	"repro/internal/stats"
+	"repro/internal/study"
+)
+
+// This file is the population engine's round-based entry point: incremental
+// accumulators that fold an ascending, gap-free PREFIX of a run's per-shard
+// wire states into the same cumulative aggregates a full run would hold at
+// that point. The adaptive subsystem (internal/adaptive) absorbs shard
+// grants round by round and peeks at the partial aggregates between rounds;
+// ReduceAB/ReduceRating are now thin wrappers that absorb the complete
+// prefix, so the distributed fabric and the sequential-stopping loop share
+// one fold implementation.
+//
+// Truncation invariant (load-bearing, pinned by tests): after absorbing
+// shards 0..k-1, an accumulator's cell aggregates, conformance funnel, and
+// kept/vote counters are bit-identical to those of a full run truncated at
+// the same participants — i.e. to folding the first k states of
+// RunABRange(cells, cfg, {0, Shards}). This holds because shard seeds are
+// absolute (shard i's bytes never depend on whether shard i+1 runs) and the
+// fold replays mergeABShards' exact left-fold order (Welford's merge is not
+// float-associative, so order is part of the contract). An early-stopped
+// cell therefore reports exactly the state it would have had mid-flight in
+// a full run — partial-budget funnels and rating histograms included.
+
+// ABAccumulator incrementally folds the ascending shard-state prefix of one
+// A/B population run. Not safe for concurrent use.
+type ABAccumulator struct {
+	cfg    Config
+	cells  []ABCellStats
+	funnel conformance.StreamFunnel
+	kept   int64
+	votes  int64
+	next   int // next absolute shard index expected
+}
+
+// NewABAccumulator builds an accumulator for a run over cells with the
+// normalized form of cfg.
+func NewABAccumulator(cells []ABCell, cfg Config) (*ABAccumulator, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("population: no A/B cells")
+	}
+	a := &ABAccumulator{cfg: cfg.withDefaults(), cells: make([]ABCellStats, len(cells))}
+	for i, c := range cells {
+		a.cells[i].Label = c.Label
+	}
+	return a, nil
+}
+
+// Config returns the normalized configuration the accumulator folds under.
+func (a *ABAccumulator) Config() Config { return a.cfg }
+
+// Shards returns how many shards have been absorbed; the absorbed prefix is
+// always [0, Shards()).
+func (a *ABAccumulator) Shards() int { return a.next }
+
+// Done reports whether the full run has been absorbed.
+func (a *ABAccumulator) Done() bool { return a.next == a.cfg.Shards }
+
+// Votes returns the simulated votes folded in so far.
+func (a *ABAccumulator) Votes() int64 { return a.votes }
+
+// Kept returns the conformance-surviving participants folded in so far.
+func (a *ABAccumulator) Kept() int64 { return a.kept }
+
+// Participants returns the pre-filter participant count covered by the
+// absorbed prefix (the partial-budget analogue of ABResult.Participants).
+func (a *ABAccumulator) Participants() int {
+	if a.next == 0 {
+		return 0
+	}
+	_, hi := shardRange(a.cfg.Participants, a.cfg.Shards, a.next-1)
+	return hi
+}
+
+// Cell returns a read-only view of cell i's cumulative aggregates at the
+// current prefix — the round-boundary state sequential stopping peeks at.
+// The pointer stays valid (and keeps mutating) across Absorb calls.
+func (a *ABAccumulator) Cell(i int) *ABCellStats { return &a.cells[i] }
+
+// Absorb folds the next shard states into the prefix. States must continue
+// the ascending, gap-free absolute-shard sequence; anything else is an
+// error and leaves the accumulator unchanged up to the offending state.
+func (a *ABAccumulator) Absorb(states []ABShardState) error {
+	for i := range states {
+		st := &states[i]
+		if st.Shard != a.next {
+			return fmt.Errorf("population: expected shard %d, got %d (states must be ascending and gap-free)", a.next, st.Shard)
+		}
+		if st.Shard >= a.cfg.Shards {
+			return fmt.Errorf("population: shard %d out of range for %d shards", st.Shard, a.cfg.Shards)
+		}
+		if len(st.Cells) != len(a.cells) {
+			return fmt.Errorf("population: shard %d carries %d cells, want %d", st.Shard, len(st.Cells), len(a.cells))
+		}
+		var funnel conformance.StreamFunnel
+		if err := funnel.Import(st.Funnel); err != nil {
+			return fmt.Errorf("population: shard %d: %w", st.Shard, err)
+		}
+		for ci := range st.Cells {
+			cs := &st.Cells[ci]
+			var c ABCellStats
+			c.VotesA, c.VotesB, c.VotesNone = cs.VotesA, cs.VotesB, cs.VotesNone
+			c.Confidence.Import(cs.Confidence)
+			c.Replays.Import(cs.Replays)
+			a.cells[ci].Merge(&c)
+		}
+		a.funnel.Merge(funnel)
+		a.kept += st.Kept
+		a.votes += st.Votes
+		a.next++
+	}
+	return nil
+}
+
+// Result materializes the current prefix as an ABResult. Participants
+// reflects only the covered prefix, so a partial-budget cell reports its
+// true population, not the configured full budget; once Done, the result is
+// byte-identical to what RunAB would have returned.
+func (a *ABAccumulator) Result() ABResult {
+	res := ABResult{
+		Cells:        append([]ABCellStats(nil), a.cells...),
+		Participants: a.Participants(),
+		Kept:         a.kept,
+		Votes:        a.votes,
+		Shards:       a.cfg.Shards,
+	}
+	if a.cfg.Conformance {
+		res.Funnel = a.funnel.Funnel()
+	}
+	return res
+}
+
+// RatingAccumulator is ABAccumulator's counterpart for the rating design.
+// Not safe for concurrent use.
+type RatingAccumulator struct {
+	cfg    Config
+	cells  []RatingCellStats
+	funnel conformance.StreamFunnel
+	kept   int64
+	votes  int64
+	next   int
+	// scratch for importing one shard's cell states before merging
+	scratch     stats.StreamHist
+	scratchBins []int64
+}
+
+// NewRatingAccumulator builds an accumulator for a run over cells with the
+// normalized form of cfg.
+func NewRatingAccumulator(cells []RatingCell, cfg Config) (*RatingAccumulator, error) {
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("population: no rating cells")
+	}
+	a := &RatingAccumulator{
+		cfg:         cfg.withDefaults(),
+		cells:       make([]RatingCellStats, len(cells)),
+		scratchBins: make([]int64, ratingHistBins),
+	}
+	for i, c := range cells {
+		a.cells[i] = NewRatingCellStats(c.Label, c.Env)
+	}
+	a.scratch.Init(study.RatingMin, study.RatingMax, a.scratchBins)
+	return a, nil
+}
+
+// Config returns the normalized configuration the accumulator folds under.
+func (a *RatingAccumulator) Config() Config { return a.cfg }
+
+// Shards returns how many shards have been absorbed.
+func (a *RatingAccumulator) Shards() int { return a.next }
+
+// Done reports whether the full run has been absorbed.
+func (a *RatingAccumulator) Done() bool { return a.next == a.cfg.Shards }
+
+// Votes returns the simulated votes folded in so far.
+func (a *RatingAccumulator) Votes() int64 { return a.votes }
+
+// Kept returns the conformance-surviving participants folded in so far.
+func (a *RatingAccumulator) Kept() int64 { return a.kept }
+
+// Participants returns the pre-filter participant count covered by the
+// absorbed prefix.
+func (a *RatingAccumulator) Participants() int {
+	if a.next == 0 {
+		return 0
+	}
+	_, hi := shardRange(a.cfg.Participants, a.cfg.Shards, a.next-1)
+	return hi
+}
+
+// Cell returns a read-only view of cell i's cumulative aggregates
+// (histogram included) at the current prefix.
+func (a *RatingAccumulator) Cell(i int) *RatingCellStats { return &a.cells[i] }
+
+// Absorb folds the next shard states into the prefix; see
+// ABAccumulator.Absorb for the prefix contract.
+func (a *RatingAccumulator) Absorb(states []RatingShardState) error {
+	for i := range states {
+		st := &states[i]
+		if st.Shard != a.next {
+			return fmt.Errorf("population: expected shard %d, got %d (states must be ascending and gap-free)", a.next, st.Shard)
+		}
+		if st.Shard >= a.cfg.Shards {
+			return fmt.Errorf("population: shard %d out of range for %d shards", st.Shard, a.cfg.Shards)
+		}
+		if len(st.Cells) != len(a.cells) {
+			return fmt.Errorf("population: shard %d carries %d cells, want %d", st.Shard, len(st.Cells), len(a.cells))
+		}
+		var funnel conformance.StreamFunnel
+		if err := funnel.Import(st.Funnel); err != nil {
+			return fmt.Errorf("population: shard %d: %w", st.Shard, err)
+		}
+		for ci := range st.Cells {
+			cs := &st.Cells[ci]
+			if err := a.scratch.Import(cs.Hist); err != nil {
+				return fmt.Errorf("population: shard %d cell %d: %w", st.Shard, ci, err)
+			}
+			var c RatingCellStats
+			c.Hist = &a.scratch
+			c.Speed.Import(cs.Speed)
+			c.Quality.Import(cs.Quality)
+			a.cells[ci].Merge(&c)
+		}
+		a.funnel.Merge(funnel)
+		a.kept += st.Kept
+		a.votes += st.Votes
+		a.next++
+	}
+	return nil
+}
+
+// Result materializes the current prefix as a RatingResult; see
+// ABAccumulator.Result for the partial-budget semantics. The returned cells
+// share histogram storage with the accumulator.
+func (a *RatingAccumulator) Result() RatingResult {
+	res := RatingResult{
+		Cells:        append([]RatingCellStats(nil), a.cells...),
+		Participants: a.Participants(),
+		Kept:         a.kept,
+		Votes:        a.votes,
+		Shards:       a.cfg.Shards,
+	}
+	if a.cfg.Conformance {
+		res.Funnel = a.funnel.Funnel()
+	}
+	return res
+}

@@ -6,7 +6,6 @@ import (
 
 	"repro/internal/conformance"
 	"repro/internal/stats"
-	"repro/internal/study"
 )
 
 // This file is the population engine's distribution surface: shard-range
@@ -166,37 +165,22 @@ func RunRatingRange(ctx context.Context, cells []RatingCell, cfg Config, r Shard
 // ReduceAB folds wire states — which must cover shards 0..Shards-1 exactly
 // once, in ascending order — into the final result, byte-identical to the
 // RunAB that would have computed all shards locally. A gap, duplicate, or
-// shape mismatch is an error, never a silent partial result.
+// shape mismatch is an error, never a silent partial result. The fold
+// itself lives in ABAccumulator, which adaptive runs drive incrementally
+// with the same prefix contract.
 func ReduceAB(cells []ABCell, cfg Config, states []ABShardState) (ABResult, error) {
 	cfg = cfg.withDefaults()
 	if len(states) != cfg.Shards {
 		return ABResult{}, fmt.Errorf("population: reduce has %d shard states, want %d", len(states), cfg.Shards)
 	}
-	shards := make([]abShard, cfg.Shards)
-	cellSlab := make([]ABCellStats, cfg.Shards*len(cells))
-	for i := range states {
-		st := &states[i]
-		if st.Shard != i {
-			return ABResult{}, fmt.Errorf("population: reduce expected shard %d, got %d (states must be ascending and complete)", i, st.Shard)
-		}
-		if len(st.Cells) != len(cells) {
-			return ABResult{}, fmt.Errorf("population: shard %d carries %d cells, want %d", i, len(st.Cells), len(cells))
-		}
-		sh := &shards[i]
-		sh.kept, sh.votes = st.Kept, st.Votes
-		if err := sh.funnel.Import(st.Funnel); err != nil {
-			return ABResult{}, fmt.Errorf("population: shard %d: %w", i, err)
-		}
-		sh.cells = cellSlab[i*len(cells) : (i+1)*len(cells)]
-		for ci := range st.Cells {
-			cs := &st.Cells[ci]
-			c := &sh.cells[ci]
-			c.VotesA, c.VotesB, c.VotesNone = cs.VotesA, cs.VotesB, cs.VotesNone
-			c.Confidence.Import(cs.Confidence)
-			c.Replays.Import(cs.Replays)
-		}
+	acc, err := NewABAccumulator(cells, cfg)
+	if err != nil {
+		return ABResult{}, err
 	}
-	return mergeABShards(cells, cfg, shards), nil
+	if err := acc.Absorb(states); err != nil {
+		return ABResult{}, err
+	}
+	return acc.Result(), nil
 }
 
 // ReduceRating is ReduceAB's counterpart for the rating design.
@@ -205,38 +189,12 @@ func ReduceRating(cells []RatingCell, cfg Config, states []RatingShardState) (Ra
 	if len(states) != cfg.Shards {
 		return RatingResult{}, fmt.Errorf("population: reduce has %d shard states, want %d", len(states), cfg.Shards)
 	}
-	nc := len(cells)
-	shards := make([]ratingShard, cfg.Shards)
-	cellSlab := make([]RatingCellStats, cfg.Shards*nc)
-	histSlab := make([]stats.StreamHist, cfg.Shards*nc)
-	binSlab := make([]int64, cfg.Shards*nc*ratingHistBins)
-	for i := range states {
-		st := &states[i]
-		if st.Shard != i {
-			return RatingResult{}, fmt.Errorf("population: reduce expected shard %d, got %d (states must be ascending and complete)", i, st.Shard)
-		}
-		if len(st.Cells) != nc {
-			return RatingResult{}, fmt.Errorf("population: shard %d carries %d cells, want %d", i, len(st.Cells), nc)
-		}
-		sh := &shards[i]
-		sh.kept, sh.votes = st.Kept, st.Votes
-		if err := sh.funnel.Import(st.Funnel); err != nil {
-			return RatingResult{}, fmt.Errorf("population: shard %d: %w", i, err)
-		}
-		sh.cells = cellSlab[i*nc : (i+1)*nc]
-		for ci := range st.Cells {
-			cs := &st.Cells[ci]
-			h := &histSlab[i*nc+ci]
-			bo := (i*nc + ci) * ratingHistBins
-			h.Init(study.RatingMin, study.RatingMax, binSlab[bo:bo+ratingHistBins:bo+ratingHistBins])
-			if err := h.Import(cs.Hist); err != nil {
-				return RatingResult{}, fmt.Errorf("population: shard %d cell %d: %w", i, ci, err)
-			}
-			c := &sh.cells[ci]
-			c.Hist = h
-			c.Speed.Import(cs.Speed)
-			c.Quality.Import(cs.Quality)
-		}
+	acc, err := NewRatingAccumulator(cells, cfg)
+	if err != nil {
+		return RatingResult{}, err
 	}
-	return mergeRatingShards(cells, cfg, shards), nil
+	if err := acc.Absorb(states); err != nil {
+		return RatingResult{}, err
+	}
+	return acc.Result(), nil
 }

@@ -57,6 +57,9 @@ type Options struct {
 	// canonical pop-* engine calls can run out of process (the distributed
 	// study fabric). Nil keeps them in process.
 	Population experiments.PopulationBackend
+	// Adaptive, when non-nil, overrides the canonical sequential-stopping
+	// policy of adaptive experiments. Nil keeps the canonical policy.
+	Adaptive *experiments.AdaptiveOptions
 }
 
 // ExperimentReport is the outcome of one experiment in a batch.
@@ -323,7 +326,7 @@ func RunContext(ctx context.Context, exps []experiments.Experiment, opts Options
 func runOne(ctx context.Context, tb *core.Testbed, e experiments.Experiment, opts Options) (ExperimentReport, experiments.Result) {
 	out := ExperimentReport{Name: e.Name(), Seed: core.DeriveSeed(opts.Seed, e.Name())}
 
-	res, err := e.Run(ctx, tb, experiments.Options{Scale: opts.Scale, Seed: out.Seed, Population: opts.Population})
+	res, err := e.Run(ctx, tb, experiments.Options{Scale: opts.Scale, Seed: out.Seed, Population: opts.Population, Adaptive: opts.Adaptive})
 	if err != nil {
 		out.Err = err
 		return out, nil

@@ -55,6 +55,12 @@ type errorBody struct {
 	// RetryAfterSeconds accompanies 429 responses, mirroring the
 	// Retry-After header for clients that only read bodies.
 	RetryAfterSeconds int `json:"retry_after_seconds,omitempty"`
+	// Code marks machine-readable rejections; qoe.Client maps
+	// "unsupported_schema" (with the two schema fields) onto its typed
+	// SchemaUnsupportedError.
+	Code            string `json:"code,omitempty"`
+	RequiredSchema  int    `json:"required_schema,omitempty"`
+	SupportedSchema int    `json:"supported_schema,omitempty"`
 }
 
 // writeAdmitError maps admission failures onto HTTP semantics: a full queue
@@ -111,7 +117,7 @@ func (s *Server) handleCatalog(w http.ResponseWriter, _ *http.Request) {
 		Scales:        qoe.ScaleNames(),
 	}
 	for _, e := range qoe.Experiments() {
-		body.Experiments = append(body.Experiments, qoe.CatalogEntry{Name: e.Name, Networks: e.Networks, Protocols: e.Protocols})
+		body.Experiments = append(body.Experiments, qoe.CatalogEntry{Name: e.Name, Networks: e.Networks, Protocols: e.Protocols, Adaptive: e.Adaptive})
 	}
 	writeJSON(w, http.StatusOK, body)
 }
@@ -387,7 +393,34 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("serve: bad shard hi %q", q.Get("hi"))})
 		return
 	}
-	spec, err := CanonicalizeShard(q.Get("study"), q.Get("scale"), seed, lo, hi)
+	cell := 0
+	if raw := q.Get("cell"); raw != "" {
+		if cell, err = strconv.Atoi(raw); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("serve: bad shard cell %q", raw)})
+			return
+		}
+	}
+	// min_schema is the request's declared wire-schema floor: adaptive
+	// tuples set it so a worker running an older build rejects them with a
+	// typed error instead of serving a stream the coordinator would
+	// misinterpret (or, worse, computing the wrong cell).
+	if raw := q.Get("min_schema"); raw != "" {
+		min, err := strconv.Atoi(raw)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: fmt.Sprintf("serve: bad min_schema %q", raw)})
+			return
+		}
+		if min > qoe.SchemaVersion {
+			writeJSON(w, http.StatusBadRequest, errorBody{
+				Error:           fmt.Sprintf("serve: request requires schema_version %d, this worker speaks %d", min, qoe.SchemaVersion),
+				Code:            "unsupported_schema",
+				RequiredSchema:  min,
+				SupportedSchema: qoe.SchemaVersion,
+			})
+			return
+		}
+	}
+	spec, err := CanonicalizeShard(q.Get("study"), q.Get("scale"), seed, lo, hi, cell)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return

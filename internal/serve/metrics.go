@@ -3,6 +3,8 @@ package serve
 import (
 	"expvar"
 	"net/http"
+
+	"repro/internal/adaptive"
 )
 
 // metrics is the server's counter set, exported as an expvar.Map that is
@@ -98,6 +100,10 @@ func newMetrics(s *Server) *metrics {
 		// surface under one "fabric" key so a smoke test can assert them.
 		m.vars.Set("fabric", s.cfg.Fabric.Vars())
 	}
+	// The sequential-stopping engine's process-global counters (rounds,
+	// cells stopped early, votes saved) surface under "adaptive" — the
+	// operational view of how much simulation the allocator is avoiding.
+	m.vars.Set("adaptive", adaptive.Vars())
 	return m
 }
 

@@ -122,6 +122,7 @@ func (s *Server) defaultRun(ctx context.Context, spec RunSpec, w io.Writer) erro
 			Scale: spec.Scale,
 			Seed:  spec.Seed,
 			Range: spec.Shard.Range,
+			Cell:  spec.Shard.Cell,
 		}, w)
 	}
 	opts := []qoe.Option{

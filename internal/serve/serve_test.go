@@ -925,3 +925,47 @@ func TestResultCacheLRU(t *testing.T) {
 		t.Fatalf("entries = %d, want 2", got)
 	}
 }
+
+// TestShardMinSchema: the worker endpoint's wire-schema floor. A request
+// declaring a schema this build doesn't speak is rejected with the typed
+// unsupported_schema envelope (which qoe.Client maps to
+// *qoe.SchemaUnsupportedError); a request within the supported schema — an
+// adaptive cell tuple included — passes validation and streams shard states.
+func TestShardMinSchema(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1}, nil)
+
+	over := fmt.Sprintf("%s/v1/shard?study=pop-ab&scale=quick&seed=1&lo=0&hi=1&min_schema=%d", ts.URL, qoe.SchemaVersion+1)
+	code, body := get(t, over)
+	if code != http.StatusBadRequest {
+		t.Fatalf("over-schema shard = %d %s", code, body)
+	}
+	var envelope struct {
+		Error           string `json:"error"`
+		Code            string `json:"code"`
+		RequiredSchema  int    `json:"required_schema"`
+		SupportedSchema int    `json:"supported_schema"`
+	}
+	if err := json.Unmarshal(body, &envelope); err != nil {
+		t.Fatalf("rejection not JSON: %v\n%s", err, body)
+	}
+	if envelope.Code != "unsupported_schema" || envelope.RequiredSchema != qoe.SchemaVersion+1 || envelope.SupportedSchema != qoe.SchemaVersion {
+		t.Fatalf("rejection envelope = %+v", envelope)
+	}
+
+	// A supported floor on an adaptive cell streams shard states normally,
+	// with every line echoing the requested cell.
+	ok := fmt.Sprintf("%s/v1/shard?study=%s&scale=quick&seed=1&lo=0&hi=1&cell=2&min_schema=%d", ts.URL, qoe.StudyPopSweepAdaptive, qoe.SchemaVersion)
+	code, body = get(t, ok)
+	if code != http.StatusOK {
+		t.Fatalf("adaptive shard = %d %s", code, body)
+	}
+	if !bytes.Contains(body, []byte(`"type":"shard_summary"`)) || !bytes.Contains(body, []byte(`"cell":2`)) {
+		t.Fatalf("adaptive shard stream missing summary or cell echo:\n%s", body)
+	}
+
+	// A cell outside the study's grid is a validation error, not a panic.
+	bad := fmt.Sprintf("%s/v1/shard?study=%s&scale=quick&seed=1&lo=0&hi=1&cell=99", ts.URL, qoe.StudyPopSweepAdaptive)
+	if code, body := get(t, bad); code != http.StatusBadRequest {
+		t.Fatalf("out-of-range cell = %d %s", code, body)
+	}
+}

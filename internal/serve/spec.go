@@ -32,10 +32,13 @@ type RunSpec struct {
 	Shard *ShardSpec
 }
 
-// ShardSpec identifies the study and shard range of a shard sub-job.
+// ShardSpec identifies the study and shard range of a shard sub-job. Cell
+// addresses one grid cell of a multi-cell (adaptive) study and is zero for
+// the canonical population runs.
 type ShardSpec struct {
 	Study string
 	Range qoe.ShardRange
+	Cell  int
 }
 
 // Canonicalize resolves a raw selection into the canonical RunSpec the job
@@ -98,14 +101,20 @@ func (s RunSpec) Key() string {
 		b.Write(strconv.AppendInt(tmp[:0], int64(s.Shard.Range.Lo), 10))
 		b.WriteByte('-')
 		b.Write(strconv.AppendInt(tmp[:0], int64(s.Shard.Range.Hi), 10))
+		if s.Shard.Cell != 0 {
+			// Cell joins the key only when non-zero, so every pre-adaptive
+			// key (and the cache entries recorded under it) stays stable.
+			b.WriteString(":c")
+			b.Write(strconv.AppendInt(tmp[:0], int64(s.Shard.Cell), 10))
+		}
 	}
 	return b.String()
 }
 
 // CanonicalizeShard builds the canonical RunSpec of a shard-range sub-job,
-// validating the study name, scale, and range bounds against the study's
-// canonical shard count.
-func CanonicalizeShard(study, scale string, seed int64, lo, hi int) (RunSpec, error) {
+// validating the study name, scale, cell, and range bounds against the
+// study's canonical shard and cell counts.
+func CanonicalizeShard(study, scale string, seed int64, lo, hi, cell int) (RunSpec, error) {
 	total, err := qoe.StudyShards(study)
 	if err != nil {
 		return RunSpec{}, err
@@ -113,13 +122,20 @@ func CanonicalizeShard(study, scale string, seed int64, lo, hi int) (RunSpec, er
 	if lo < 0 || hi <= lo || hi > total {
 		return RunSpec{}, fmt.Errorf("serve: shard range [%d,%d) invalid for %d shards of %s", lo, hi, total, study)
 	}
+	cells, err := qoe.StudyCells(study)
+	if err != nil {
+		return RunSpec{}, err
+	}
+	if cell < 0 || cell >= cells {
+		return RunSpec{}, fmt.Errorf("serve: cell %d invalid for %d cells of %s", cell, cells, study)
+	}
 	sc := qoe.ScaleQuick
 	if scale != "" {
 		if sc, err = qoe.ParseScale(scale); err != nil {
 			return RunSpec{}, err
 		}
 	}
-	return RunSpec{Scale: sc, Seed: seed, Shard: &ShardSpec{Study: study, Range: qoe.ShardRange{Lo: lo, Hi: hi}}}, nil
+	return RunSpec{Scale: sc, Seed: seed, Shard: &ShardSpec{Study: study, Range: qoe.ShardRange{Lo: lo, Hi: hi}, Cell: cell}}, nil
 }
 
 // ID is the content address derived from Key: 128 bits of its SHA-256, hex

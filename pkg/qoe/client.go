@@ -72,15 +72,40 @@ func (e *RetryableError) Error() string {
 	return fmt.Sprintf("qoe: server refused run (HTTP %d, retry after %v): %s", e.StatusCode, e.RetryAfter, e.Message)
 }
 
+// SchemaUnsupportedError reports a worker that cannot serve a request
+// because it speaks an older wire schema than the request requires —
+// adaptive shard tuples declare their minimum schema, and a worker running
+// an older build answers with this typed rejection (error code
+// "unsupported_schema") instead of computing something wrong. A coordinator
+// treats it as permanent for that worker: retrying the same request there
+// can never succeed, but another (upgraded) worker may serve it.
+type SchemaUnsupportedError struct {
+	// Required is the schema version the request declared it needs.
+	Required int
+	// Supported is the newest schema version the worker speaks.
+	Supported int
+	Message   string
+}
+
+func (e *SchemaUnsupportedError) Error() string {
+	return fmt.Sprintf("qoe: worker speaks schema_version %d, request requires %d: %s", e.Supported, e.Required, e.Message)
+}
+
 // apiError decodes the server's uniform error envelope into a Go error.
 func apiError(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
 	var envelope struct {
-		Error string `json:"error"`
+		Error           string `json:"error"`
+		Code            string `json:"code"`
+		RequiredSchema  int    `json:"required_schema"`
+		SupportedSchema int    `json:"supported_schema"`
 	}
 	msg := strings.TrimSpace(string(body))
 	if json.Unmarshal(body, &envelope) == nil && envelope.Error != "" {
 		msg = envelope.Error
+		if envelope.Code == "unsupported_schema" {
+			return &SchemaUnsupportedError{Required: envelope.RequiredSchema, Supported: envelope.SupportedSchema, Message: msg}
+		}
 	}
 	if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
 		retry := 2 * time.Second
@@ -236,11 +261,15 @@ type Catalog struct {
 	Scales        []string         `json:"scales"`
 }
 
-// CatalogEntry describes one runnable experiment.
+// CatalogEntry describes one runnable experiment. Adaptive marks
+// experiments driven by the sequential-stopping engine: their runs emit
+// "decision" stream lines, and their fabric shard tuples require a worker
+// speaking this schema version (see SchemaUnsupportedError).
 type CatalogEntry struct {
 	Name      string `json:"name"`
 	Networks  int    `json:"networks"`
 	Protocols int    `json:"protocols"`
+	Adaptive  bool   `json:"adaptive,omitempty"`
 }
 
 // CatalogNetwork describes one emulated network operating point.

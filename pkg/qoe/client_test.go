@@ -44,6 +44,53 @@ func TestClientCatalog(t *testing.T) {
 	if !c.Healthy(context.Background()) {
 		t.Fatal("served daemon reports unhealthy")
 	}
+	// The catalog marks exactly the sequential-stopping studies adaptive, so
+	// a coordinator can tell which tuples need schema-aware workers.
+	adaptive := map[string]bool{}
+	for _, e := range cat.Experiments {
+		adaptive[e.Name] = e.Adaptive
+	}
+	if !adaptive[qoe.StudyPopSweepAdaptive] {
+		t.Fatalf("catalog does not mark %s adaptive", qoe.StudyPopSweepAdaptive)
+	}
+	if adaptive["pop-sweep"] || adaptive["table1"] {
+		t.Fatalf("catalog marks non-adaptive experiments adaptive: %v", adaptive)
+	}
+}
+
+// TestClientSchemaUnsupported: a worker running an older build answers an
+// adaptive shard tuple with the typed unsupported_schema envelope, and the
+// client surfaces it as *SchemaUnsupportedError — permanent for that
+// worker, not a retryable backpressure signal.
+func TestClientSchemaUnsupported(t *testing.T) {
+	stub := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if got := r.URL.Query().Get("min_schema"); got != "1" {
+			t.Errorf("adaptive shard request sent min_schema=%q, want 1", got)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"serve: request requires schema_version 1, this worker speaks 0","code":"unsupported_schema","required_schema":1,"supported_schema":0}`))
+	}))
+	defer stub.Close()
+	c := qoe.NewClient(stub.URL, nil)
+	_, err := c.RunShards(context.Background(), qoe.ShardRequest{
+		Study: qoe.StudyPopSweepAdaptive,
+		Scale: qoe.ScaleQuick,
+		Seed:  1,
+		Range: qoe.ShardRange{Lo: 0, Hi: 2},
+		Cell:  3,
+	})
+	var sue *qoe.SchemaUnsupportedError
+	if !errors.As(err, &sue) {
+		t.Fatalf("RunShards = %v, want *SchemaUnsupportedError", err)
+	}
+	if sue.Required != 1 || sue.Supported != 0 {
+		t.Fatalf("schema error = %+v", sue)
+	}
+	var re *qoe.RetryableError
+	if errors.As(err, &re) {
+		t.Fatal("unsupported_schema must not be retryable")
+	}
 }
 
 // TestClientRunMatchesLocalSession: the remote hot path end to end — a

@@ -1,6 +1,7 @@
 package qoe
 
 import (
+	"math"
 	"strconv"
 	"unicode/utf8"
 )
@@ -43,6 +44,62 @@ func appendProgressEvent(dst []byte, ev ProgressEvent) []byte {
 	dst = append(dst, `,"total":`...)
 	dst = strconv.AppendInt(dst, int64(ev.Total), 10)
 	return append(dst, '}', '\n')
+}
+
+// appendDecisionEvent appends the "decision" NDJSON line for ev.
+func appendDecisionEvent(dst []byte, ev DecisionEvent) []byte {
+	dst = appendLineStart(dst, "decision")
+	dst = append(dst, `,"experiment":`...)
+	dst = appendJSONString(dst, ev.Experiment)
+	dst = append(dst, `,"cell":`...)
+	dst = appendJSONString(dst, ev.Cell)
+	dst = append(dst, `,"index":`...)
+	dst = strconv.AppendInt(dst, int64(ev.Index), 10)
+	dst = append(dst, `,"outcome":`...)
+	dst = appendJSONString(dst, ev.Outcome)
+	dst = append(dst, `,"round":`...)
+	dst = strconv.AppendInt(dst, int64(ev.Round), 10)
+	dst = append(dst, `,"looks":`...)
+	dst = strconv.AppendInt(dst, int64(ev.Looks), 10)
+	dst = append(dst, `,"votes":`...)
+	dst = strconv.AppendInt(dst, ev.Votes, 10)
+	dst = append(dst, `,"budget":`...)
+	dst = strconv.AppendInt(dst, ev.Budget, 10)
+	dst = append(dst, `,"point":`...)
+	dst = appendJSONFloat(dst, ev.Point)
+	dst = append(dst, `,"lo":`...)
+	dst = appendJSONFloat(dst, ev.Lo)
+	dst = append(dst, `,"hi":`...)
+	dst = appendJSONFloat(dst, ev.Hi)
+	dst = append(dst, `,"level":`...)
+	dst = appendJSONFloat(dst, ev.Level)
+	return append(dst, '}', '\n')
+}
+
+// appendJSONFloat appends f exactly as encoding/json encodes a float64:
+// shortest round-trip representation, 'f' form for magnitudes in
+// [1e-6, 1e21), otherwise 'e' form with any two-digit negative exponent's
+// leading zero stripped (1e-7 → "1e-07" → "1e-7"). Non-finite values —
+// which encoding/json rejects with an error — encode as null; decision
+// fields are probabilities and levels, so a NaN here would mean an engine
+// bug, and null is the honest wire value for it.
+func appendJSONFloat(dst []byte, f float64) []byte {
+	if math.IsNaN(f) || math.IsInf(f, 0) {
+		return append(dst, "null"...)
+	}
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	dst = strconv.AppendFloat(dst, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(dst); n >= 4 && dst[n-4] == 'e' && dst[n-3] == '-' && dst[n-2] == '0' {
+			dst[n-2] = dst[n-1]
+			dst = dst[:n-1]
+		}
+	}
+	return dst
 }
 
 // appendSummaryEvent appends the "summary" NDJSON line for ev.

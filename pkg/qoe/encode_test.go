@@ -3,6 +3,7 @@ package qoe
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"math/rand"
 	"testing"
 )
@@ -27,6 +28,23 @@ type legacyProgressWire struct {
 	Experiment string `json:"experiment,omitempty"`
 	Completed  int    `json:"completed"`
 	Total      int    `json:"total"`
+}
+
+type legacyDecisionWire struct {
+	Schema     int     `json:"schema_version"`
+	Type       string  `json:"type"`
+	Experiment string  `json:"experiment"`
+	Cell       string  `json:"cell"`
+	Index      int     `json:"index"`
+	Outcome    string  `json:"outcome"`
+	Round      int     `json:"round"`
+	Looks      int     `json:"looks"`
+	Votes      int64   `json:"votes"`
+	Budget     int64   `json:"budget"`
+	Point      float64 `json:"point"`
+	Lo         float64 `json:"lo"`
+	Hi         float64 `json:"hi"`
+	Level      float64 `json:"level"`
 }
 
 type legacySummaryWire struct {
@@ -160,6 +178,79 @@ func TestSummaryEventDifferential(t *testing.T) {
 		}
 		if got := sink.Bytes(); !bytes.Equal(got, want) {
 			t.Fatalf("summary wire mismatch for %+v:\n got  %q\n want %q", ev, got, want)
+		}
+	}
+}
+
+// TestDecisionEventDifferential: the decision line reproduces the
+// encoding/json bytes across tricky strings and float extremes.
+func TestDecisionEventDifferential(t *testing.T) {
+	var sink bytes.Buffer
+	s := StreamSink(&sink).(*streamSink)
+	floats := []float64{
+		0, 0.5, 1, -0.25, 0.9512594444029688, 1e-6, 9.999999e-7, 1e-7,
+		1e20, 1e21, 1e22, -1e-9, 6.02e23, 1.0 / 3.0, math.SmallestNonzeroFloat64,
+		math.MaxFloat64, 255.0, 1e6,
+	}
+	i := 0
+	for _, name := range trickyStrings {
+		ev := DecisionEvent{
+			Experiment: "pop-sweep-adaptive", Cell: name, Index: i,
+			Outcome: "noticeable", Round: i % 7, Looks: i % 11,
+			Votes: int64(i) * 12347, Budget: int64(i) * 500009,
+			Point: floats[i%len(floats)], Lo: floats[(i+1)%len(floats)],
+			Hi: floats[(i+2)%len(floats)], Level: floats[(i+3)%len(floats)],
+		}
+		i++
+		want := legacyEncode(t, legacyDecisionWire{
+			Schema: SchemaVersion, Type: "decision",
+			Experiment: ev.Experiment, Cell: ev.Cell, Index: ev.Index,
+			Outcome: ev.Outcome, Round: ev.Round, Looks: ev.Looks,
+			Votes: ev.Votes, Budget: ev.Budget,
+			Point: ev.Point, Lo: ev.Lo, Hi: ev.Hi, Level: ev.Level,
+		})
+		sink.Reset()
+		if err := s.Decision(ev); err != nil {
+			t.Fatal(err)
+		}
+		if got := sink.Bytes(); !bytes.Equal(got, want) {
+			t.Fatalf("decision wire mismatch for cell %q:\n got  %q\n want %q", name, got, want)
+		}
+	}
+}
+
+// TestAppendJSONFloatDifferential sweeps deterministic pseudo-random floats
+// — uniform, normal, exponent-spread, and boundary values — through the
+// float appender against json.Marshal. Non-finite values, which
+// encoding/json refuses, must encode as null.
+func TestAppendJSONFloatDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	check := func(f float64) {
+		t.Helper()
+		want, err := json.Marshal(f)
+		if err != nil {
+			t.Fatalf("json.Marshal(%g): %v", f, err)
+		}
+		if got := appendJSONFloat(nil, f); !bytes.Equal(got, want) {
+			t.Fatalf("appendJSONFloat(%v) = %q, want %q", f, got, want)
+		}
+	}
+	for _, f := range []float64{
+		0, math.Copysign(0, -1), 1, -1, 0.1, 1e-6, 1e-7, 9.999999999e-7,
+		1e21, 0.999999e21, 1e21 * (1 - 1e-16), -1e21, 1e300, 5e-324,
+		math.MaxFloat64, 1.0 / 3.0, 2.0 / 3.0, 0.3, 255, 1 << 53,
+	} {
+		check(f)
+	}
+	for i := 0; i < 20000; i++ {
+		check(rng.Float64())
+		check(rng.NormFloat64() * 100)
+		// Spread mantissas across the full exponent range.
+		check(math.Ldexp(rng.Float64()+0.5, rng.Intn(2047)-1023))
+	}
+	for _, f := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := appendJSONFloat(nil, f); string(got) != "null" {
+			t.Fatalf("appendJSONFloat(%v) = %q, want null", f, got)
 		}
 	}
 }

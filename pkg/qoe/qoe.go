@@ -59,6 +59,9 @@ type ExperimentInfo struct {
 	// drive the page loader directly.
 	Networks  int
 	Protocols int
+	// Adaptive marks experiments driven by the sequential-stopping engine:
+	// they emit DecisionEvents and shard over the fabric per (cell, range).
+	Adaptive bool
 }
 
 // ExperimentNames lists every registered experiment in canonical
@@ -95,7 +98,7 @@ func Experiments() []ExperimentInfo {
 	for _, name := range names {
 		e, _ := experiments.Lookup(name)
 		nets, prots := e.Conditions()
-		out = append(out, ExperimentInfo{Name: name, Networks: len(nets), Protocols: len(prots)})
+		out = append(out, ExperimentInfo{Name: name, Networks: len(nets), Protocols: len(prots), Adaptive: IsAdaptiveStudy(name)})
 	}
 	return out
 }

@@ -91,9 +91,11 @@ func Canonicalize(experiments, scenarios []string, scale string, seed int64) (Ru
 }
 
 // CanonicalizeShard builds the canonical RunSpec of one shard-range
-// sub-job of a population study (the tuple behind GET /v1/shard).
-func CanonicalizeShard(study, scale string, seed int64, lo, hi int) (RunSpec, error) {
-	return serve.CanonicalizeShard(study, scale, seed, lo, hi)
+// sub-job of a population study (the tuple behind GET /v1/shard). cell
+// addresses one grid cell of a multi-cell (adaptive) study; pass 0 for the
+// canonical population runs.
+func CanonicalizeShard(study, scale string, seed int64, lo, hi, cell int) (RunSpec, error) {
+	return serve.CanonicalizeShard(study, scale, seed, lo, hi, cell)
 }
 
 // FabricConfig configures a distributed-study coordinator: the worker pool

@@ -63,6 +63,7 @@ type Session struct {
 	seed       int64
 	parallel   int
 	population experiments.PopulationBackend
+	adaptive   *experiments.AdaptiveOptions
 }
 
 // Option configures a Session under construction.
@@ -117,6 +118,35 @@ type PopulationBackend = experiments.PopulationBackend
 func WithPopulationBackend(backend PopulationBackend) Option {
 	return func(s *Session) error {
 		s.population = backend
+		return nil
+	}
+}
+
+// AdaptiveConfig tunes the sequential-stopping policy of adaptive
+// experiments (pop-sweep-adaptive): the always-valid error budget Alpha,
+// the noticeability Threshold, and the allocator's MinShards bootstrap and
+// RoundShards per-round budget. Zero fields keep the canonical defaults;
+// Workers bounds the engine's shard parallelism and never changes result
+// bytes.
+type AdaptiveConfig = experiments.AdaptiveOptions
+
+// WithAdaptive overrides the canonical sequential-stopping policy of
+// adaptive experiments. The policy shapes the result bytes (which cells
+// stop when), so sessions that must stay byte-comparable to golden, cached,
+// or fabric runs leave it unset — the canonical policy is the default.
+func WithAdaptive(cfg AdaptiveConfig) Option {
+	return func(s *Session) error {
+		if cfg.Alpha < 0 || cfg.Alpha >= 1 {
+			return fmt.Errorf("qoe: adaptive alpha %g outside [0, 1)", cfg.Alpha)
+		}
+		if cfg.Threshold < 0 || cfg.Threshold >= 1 {
+			return fmt.Errorf("qoe: adaptive threshold %g outside [0, 1)", cfg.Threshold)
+		}
+		if cfg.MinShards < 0 || cfg.RoundShards < 0 || cfg.Workers < 0 {
+			return fmt.Errorf("qoe: negative adaptive shard/worker counts")
+		}
+		c := cfg
+		s.adaptive = &c
 		return nil
 	}
 }
@@ -193,7 +223,9 @@ func (s Summary) String() string {
 // and streams the outcome to sink (nil runs silently). Events arrive on a
 // single goroutine: progress as stages advance, then — strictly in
 // selection order — each experiment's ResultEvent (for ResultSink
-// implementors) followed by its RowEvents, and finally one SummaryEvent.
+// implementors), its DecisionEvents in grid order (adaptive experiments,
+// DecisionSink implementors), and its RowEvents, and finally one
+// SummaryEvent.
 //
 // Run returns the first of: a sink error (which also cancels the rest of
 // the run), ctx's error if it was cancelled, or the first per-experiment
@@ -223,6 +255,7 @@ func (s *Session) Run(ctx context.Context, sink Sink) (Summary, error) {
 		return true
 	}
 	resultSink, _ := sink.(ResultSink)
+	decisionSink, _ := sink.(DecisionSink)
 	_, skipRows := sink.(rowless)
 	rows := 0
 
@@ -232,6 +265,7 @@ func (s *Session) Run(ctx context.Context, sink Sink) (Summary, error) {
 		Parallel:   s.parallel,
 		Format:     runner.None,
 		Population: s.population,
+		Adaptive:   s.adaptive,
 	}, runner.Hooks{
 		Progress: func(p runner.Progress) {
 			emit(func() error {
@@ -244,7 +278,29 @@ func (s *Session) Run(ctx context.Context, sink Sink) (Summary, error) {
 					return resultSink.Result(ResultEvent{Experiment: r.Name, Seed: r.Seed, Duration: r.Duration, Err: r.Err, Doc: res})
 				})
 			}
-			if r.Err != nil || res == nil || sinkErr != nil || skipRows {
+			if r.Err != nil || res == nil || sinkErr != nil {
+				return
+			}
+			if decisionSink != nil {
+				if dd, ok := res.(interface {
+					Decisions() []experiments.Decision
+				}); ok {
+					for _, d := range dd.Decisions() {
+						d := d
+						if !emit(func() error {
+							return decisionSink.Decision(DecisionEvent{
+								Experiment: d.Experiment, Cell: d.Cell, Index: d.Index,
+								Outcome: d.Outcome, Round: d.Round, Looks: d.Looks,
+								Votes: d.Votes, Budget: d.Budget,
+								Point: d.Point, Lo: d.Lo, Hi: d.Hi, Level: d.Level,
+							})
+						}) {
+							return
+						}
+					}
+				}
+			}
+			if skipRows {
 				return
 			}
 			evs, err := rowEvents(r.Name, res)

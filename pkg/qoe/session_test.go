@@ -156,6 +156,88 @@ func TestSessionStreamsTypedEvents(t *testing.T) {
 	}
 }
 
+// seqDecisionSink records the interleaving of result/decision/row events as
+// a flat tag sequence, to pin the delivery order contract.
+type seqDecisionSink struct {
+	collectSink
+	decisions []DecisionEvent
+	order     []string
+}
+
+func (s *seqDecisionSink) Row(ev RowEvent) error {
+	s.order = append(s.order, "row:"+ev.Experiment)
+	return s.collectSink.Row(ev)
+}
+
+func (s *seqDecisionSink) Result(ev ResultEvent) error {
+	s.order = append(s.order, "result:"+ev.Experiment)
+	return s.collectSink.Result(ev)
+}
+
+func (s *seqDecisionSink) Decision(ev DecisionEvent) error {
+	s.order = append(s.order, "decision:"+ev.Experiment)
+	s.decisions = append(s.decisions, ev)
+	return nil
+}
+
+// TestSessionEmitsDecisions: an adaptive experiment delivers one
+// DecisionEvent per grid cell to DecisionSink implementors — in grid order,
+// after the experiment's ResultEvent and before its rows — and the vote
+// accounting shows real savings. Non-adaptive experiments emit none.
+func TestSessionEmitsDecisions(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population-scale run")
+	}
+	sess, err := NewSession(WithScenarios("table1", "pop-sweep-adaptive"), WithParallelism(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := &seqDecisionSink{}
+	if _, err := sess.Run(context.Background(), sink); err != nil {
+		t.Fatal(err)
+	}
+	if len(sink.decisions) == 0 {
+		t.Fatal("adaptive run delivered no decisions")
+	}
+	var saved int64
+	for i, d := range sink.decisions {
+		if d.Experiment != "pop-sweep-adaptive" || d.Index != i {
+			t.Fatalf("decision %d addressing: %+v", i, d)
+		}
+		if d.Cell == "" || d.Outcome == "" || d.Votes <= 0 || d.Budget < d.Votes {
+			t.Fatalf("decision %d malformed: %+v", i, d)
+		}
+		saved += d.Budget - d.Votes
+	}
+	if saved <= 0 {
+		t.Fatal("adaptive decisions report no vote savings")
+	}
+	// Order: the adaptive experiment's decisions sit between its result and
+	// its first row; table1 emits no decisions.
+	var resultAt, firstDecision, lastDecision, firstRow int
+	resultAt, firstDecision, firstRow = -1, -1, -1
+	for i, tag := range sink.order {
+		switch tag {
+		case "decision:table1":
+			t.Fatal("non-adaptive experiment emitted a decision")
+		case "result:pop-sweep-adaptive":
+			resultAt = i
+		case "decision:pop-sweep-adaptive":
+			if firstDecision == -1 {
+				firstDecision = i
+			}
+			lastDecision = i
+		case "row:pop-sweep-adaptive":
+			if firstRow == -1 {
+				firstRow = i
+			}
+		}
+	}
+	if resultAt == -1 || firstDecision < resultAt || firstRow < lastDecision {
+		t.Fatalf("delivery order violated: %v", sink.order)
+	}
+}
+
 // TestSessionRunCanceledMidBatch: cancelling the context from inside the
 // sink (after the first result) aborts the rest of the batch with ctx.Err(),
 // and a fresh session afterwards runs to completion — no shared state is

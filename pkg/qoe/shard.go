@@ -11,6 +11,7 @@ import (
 	"strconv"
 	"sync"
 
+	"repro/internal/adaptive"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/population"
@@ -29,25 +30,50 @@ import (
 // returned aggregate state is byte-identical no matter which worker computed
 // it — that is what lets a coordinator retry lost shards on any survivor.
 
-// The two studies the shard protocol can split: the canonical population
-// runs. pop-sweep is excluded by design (its panels use per-step derived
-// seeds and a non-canonical config).
+// The studies the shard protocol can split: the canonical population runs,
+// plus the adaptive sweep whose per-cell panels the sequential-stopping
+// allocator grants shard ranges of. pop-sweep is excluded by design (its
+// panels use per-step derived seeds and a non-canonical config); its
+// adaptive sibling is shardable exactly because its cell configs are a
+// canonical function of (master seed, cell index).
 const (
-	StudyPopAB     = "pop-ab"
-	StudyPopRating = "pop-rating"
+	StudyPopAB            = "pop-ab"
+	StudyPopRating        = "pop-rating"
+	StudyPopSweepAdaptive = "pop-sweep-adaptive"
 )
 
 // StudyShards returns the canonical shard count of a study's population
 // run — the shard space a coordinator splits and a reduction must cover.
+// For the adaptive study this is the PER-CELL shard space; see StudyCells.
 func StudyShards(study string) (int, error) {
 	switch study {
 	case StudyPopAB:
 		return experiments.PopABConfig(0).Normalize().Shards, nil
 	case StudyPopRating:
 		return experiments.PopRatingConfig(0).Normalize().Shards, nil
+	case StudyPopSweepAdaptive:
+		return experiments.PopSweepAdaptiveShards(), nil
 	}
-	return 0, fmt.Errorf("qoe: unknown shard study %q (have: %s, %s)", study, StudyPopAB, StudyPopRating)
+	return 0, fmt.Errorf("qoe: unknown shard study %q (have: %s, %s, %s)", study, StudyPopAB, StudyPopRating, StudyPopSweepAdaptive)
 }
+
+// StudyCells returns how many independent grid cells a study's shard space
+// is replicated across: 1 for the canonical population runs (their cell
+// grid travels inside each shard), the sweep-step count for the adaptive
+// study (each step is its own population with its own shard space).
+func StudyCells(study string) (int, error) {
+	switch study {
+	case StudyPopAB, StudyPopRating:
+		return 1, nil
+	case StudyPopSweepAdaptive:
+		return experiments.PopSweepAdaptiveCells(), nil
+	}
+	return 0, fmt.Errorf("qoe: unknown shard study %q (have: %s, %s, %s)", study, StudyPopAB, StudyPopRating, StudyPopSweepAdaptive)
+}
+
+// IsAdaptiveStudy reports whether a study's shard requests carry a cell
+// index and require the decision-capable wire schema on the worker.
+func IsAdaptiveStudy(study string) bool { return study == StudyPopSweepAdaptive }
 
 // ShardRange is a half-open range [Lo, Hi) of absolute population shard
 // indices (the engine's canonical runs use 64 shards).
@@ -64,10 +90,13 @@ func (r ShardRange) String() string { return fmt.Sprintf("[%d,%d)", r.Lo, r.Hi) 
 // ShardRequest names one shard-range sub-job of a canonical population
 // study.
 type ShardRequest struct {
-	Study string     `json:"study"` // StudyPopAB or StudyPopRating
+	Study string     `json:"study"` // StudyPopAB, StudyPopRating, or StudyPopSweepAdaptive
 	Scale Scale      `json:"scale"`
 	Seed  int64      `json:"seed"` // master seed; the worker derives the rest
 	Range ShardRange `json:"range"`
+	// Cell addresses one grid cell of a multi-cell (adaptive) study; zero
+	// for the canonical population runs.
+	Cell int `json:"cell,omitempty"`
 }
 
 func (r ShardRequest) query() url.Values {
@@ -79,6 +108,14 @@ func (r ShardRequest) query() url.Values {
 	q.Set("seed", strconv.FormatInt(r.Seed, 10))
 	q.Set("lo", strconv.Itoa(r.Range.Lo))
 	q.Set("hi", strconv.Itoa(r.Range.Hi))
+	if IsAdaptiveStudy(r.Study) {
+		// Adaptive tuples carry their cell address and declare the wire
+		// schema they require, so a worker running an older build answers
+		// with a typed unsupported_schema rejection instead of silently
+		// computing the wrong cell.
+		q.Set("cell", strconv.Itoa(r.Cell))
+		q.Set("min_schema", strconv.Itoa(SchemaVersion))
+	}
 	return q
 }
 
@@ -90,6 +127,7 @@ type ShardEvent struct {
 	Type          string          `json:"type"`
 	SchemaVersion int             `json:"schema_version"`
 	Study         string          `json:"study"`
+	Cell          int             `json:"cell,omitempty"` // adaptive studies echo the requested cell
 	Shard         int             `json:"shard,omitempty"`
 	State         json.RawMessage `json:"state,omitempty"`
 	// Summary fields (type "shard_summary").
@@ -145,6 +183,9 @@ func (c *Client) RunShards(ctx context.Context, req ShardRequest) ([]ShardData, 
 		if ev.Study != req.Study {
 			return nil, fmt.Errorf("qoe: shard stream for study %q, requested %q", ev.Study, req.Study)
 		}
+		if ev.Cell != req.Cell {
+			return nil, fmt.Errorf("qoe: shard stream for cell %d, requested %d", ev.Cell, req.Cell)
+		}
 		switch ev.Type {
 		case "shard":
 			if ev.Shard != next {
@@ -189,7 +230,8 @@ func (c *Client) RunShards(ctx context.Context, req ShardRequest) ([]ShardData, 
 type ShardExecutor struct {
 	mu       sync.Mutex
 	testbeds map[string]*core.Testbed
-	order    []string // FIFO eviction order for the bounded cache
+	specs    map[string][]adaptive.CellSpec // adaptive cell specs per testbed key
+	order    []string                       // FIFO eviction order for the bounded cache
 	max      int
 }
 
@@ -199,11 +241,19 @@ func NewShardExecutor(maxTestbeds int) *ShardExecutor {
 	if maxTestbeds < 1 {
 		maxTestbeds = 1
 	}
-	return &ShardExecutor{testbeds: make(map[string]*core.Testbed), max: maxTestbeds}
+	return &ShardExecutor{
+		testbeds: make(map[string]*core.Testbed),
+		specs:    make(map[string][]adaptive.CellSpec),
+		max:      maxTestbeds,
+	}
+}
+
+func (e *ShardExecutor) testbedKey(scaleName Scale, seed int64) string {
+	return string(scaleName) + "|" + strconv.FormatInt(seed, 10)
 }
 
 func (e *ShardExecutor) testbed(scale core.Scale, scaleName Scale, seed int64) *core.Testbed {
-	key := string(scaleName) + "|" + strconv.FormatInt(seed, 10)
+	key := e.testbedKey(scaleName, seed)
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if tb, ok := e.testbeds[key]; ok {
@@ -211,12 +261,39 @@ func (e *ShardExecutor) testbed(scale core.Scale, scaleName Scale, seed int64) *
 	}
 	for len(e.order) >= e.max {
 		delete(e.testbeds, e.order[0])
+		delete(e.specs, e.order[0])
 		e.order = e.order[1:]
 	}
 	tb := core.NewTestbed(scale, seed)
 	e.testbeds[key] = tb
 	e.order = append(e.order, key)
 	return tb
+}
+
+// adaptiveSpecs returns the adaptive study's cell specs for one (scale,
+// master seed) tuple, cached alongside the testbed: every round grant of
+// every cell reuses one measured stimulus grid, exactly like the
+// coordinator's own run does. expSeed is the study-derived seed.
+func (e *ShardExecutor) adaptiveSpecs(tb *core.Testbed, scaleName Scale, seed, expSeed int64) ([]adaptive.CellSpec, error) {
+	key := e.testbedKey(scaleName, seed)
+	e.mu.Lock()
+	cached, ok := e.specs[key]
+	e.mu.Unlock()
+	if ok {
+		return cached, nil
+	}
+	specs, err := experiments.PopSweepAdaptiveSpecs(tb, expSeed)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	// Only cache while the testbed itself is still resident, so the spec
+	// cache can never outlive (or outgrow) the testbed FIFO.
+	if _, live := e.testbeds[key]; live {
+		e.specs[key] = specs
+	}
+	e.mu.Unlock()
+	return specs, nil
 }
 
 // Run executes one shard-range sub-job and writes its NDJSON stream to w:
@@ -229,8 +306,12 @@ func (e *ShardExecutor) Run(ctx context.Context, req ShardRequest, w io.Writer) 
 	if err != nil {
 		return err
 	}
-	if req.Study != StudyPopAB && req.Study != StudyPopRating {
-		return fmt.Errorf("qoe: unknown shard study %q (have: %s, %s)", req.Study, StudyPopAB, StudyPopRating)
+	cellCount, err := StudyCells(req.Study)
+	if err != nil {
+		return err
+	}
+	if req.Cell < 0 || req.Cell >= cellCount {
+		return fmt.Errorf("qoe: cell %d out of range for %s (%d cells)", req.Cell, req.Study, cellCount)
 	}
 	prange := population.ShardRange{Lo: req.Range.Lo, Hi: req.Range.Hi}
 	expSeed := core.DeriveSeed(req.Seed, req.Study) // the batch runner's per-experiment derivation
@@ -268,6 +349,24 @@ func (e *ShardExecutor) Run(ctx context.Context, req ShardRequest, w io.Writer) 
 		for i := range states {
 			lines = append(lines, line{states[i].Shard, &states[i]})
 		}
+	case StudyPopSweepAdaptive:
+		// One round grant of one sweep cell. The cell's config is the
+		// canonical derivation from (master seed, cell) — the same one the
+		// coordinator's allocator granted against — so shard i's state is
+		// byte-identical to the in-process engine's, and the coordinator's
+		// accumulator fold cannot tell the difference.
+		specs, err := e.adaptiveSpecs(tb, req.Scale, req.Seed, expSeed)
+		if err != nil {
+			return err
+		}
+		spec := specs[req.Cell]
+		states, err := population.RunABRange(ctx, spec.Cells, spec.Config, prange)
+		if err != nil {
+			return err
+		}
+		for i := range states {
+			lines = append(lines, line{states[i].Shard, &states[i]})
+		}
 	}
 
 	enc := json.NewEncoder(w)
@@ -276,14 +375,14 @@ func (e *ShardExecutor) Run(ctx context.Context, req ShardRequest, w io.Writer) 
 		if err != nil {
 			return err
 		}
-		ev := ShardEvent{Type: "shard", SchemaVersion: SchemaVersion, Study: req.Study, Shard: l.shard, State: state}
+		ev := ShardEvent{Type: "shard", SchemaVersion: SchemaVersion, Study: req.Study, Cell: req.Cell, Shard: l.shard, State: state}
 		if err := enc.Encode(&ev); err != nil {
 			return err
 		}
 	}
 	r := req.Range
 	return enc.Encode(&ShardEvent{
-		Type: "shard_summary", SchemaVersion: SchemaVersion, Study: req.Study,
+		Type: "shard_summary", SchemaVersion: SchemaVersion, Study: req.Study, Cell: req.Cell,
 		Range: &r, Shards: len(lines),
 	})
 }

@@ -65,10 +65,10 @@ func (s *docSink) Result(ev ResultEvent) error {
 
 // StreamSink emits the versioned NDJSON event stream: one JSON object per
 // line, each carrying `"schema_version": 1` and a `"type"` of "row",
-// "progress", or "summary". Row and summary lines are deterministic for a
-// fixed session configuration; progress lines interleave in completion
-// order and carry no wall-clock values, so the whole stream is reproducible
-// for sequential (or single-experiment) runs.
+// "progress", "decision", or "summary". Row, decision, and summary lines
+// are deterministic for a fixed session configuration; progress lines
+// interleave in completion order and carry no wall-clock values, so the
+// whole stream is reproducible for sequential (or single-experiment) runs.
 //
 // Lines are append-encoded into a buffer reused across events (no
 // encoding/json reflection on the hot path — the steady-state row path does
@@ -101,7 +101,11 @@ func (s *streamSink) Summary(ev SummaryEvent) error {
 	return s.emit(appendSummaryEvent(s.buf, ev))
 }
 
-// streamWire is the union of the three NDJSON line shapes, for decoding:
+func (s *streamSink) Decision(ev DecisionEvent) error {
+	return s.emit(appendDecisionEvent(s.buf, ev))
+}
+
+// streamWire is the union of the NDJSON line shapes, for decoding:
 // schema_version and type discriminate, the rest is per-type payload.
 type streamWire struct {
 	Schema       int             `json:"schema_version"`
@@ -117,6 +121,17 @@ type streamWire struct {
 	Conditions   int             `json:"conditions"`
 	CacheRecords uint64          `json:"cache_records"`
 	CacheHits    uint64          `json:"cache_hits"`
+	// "decision" payload (adaptive experiments).
+	Cell    string  `json:"cell"`
+	Outcome string  `json:"outcome"`
+	Round   int     `json:"round"`
+	Looks   int     `json:"looks"`
+	Votes   int64   `json:"votes"`
+	Budget  int64   `json:"budget"`
+	Point   float64 `json:"point"`
+	Lo      float64 `json:"lo"`
+	Hi      float64 `json:"hi"`
+	Level   float64 `json:"level"`
 }
 
 // DecodeStream is the inverse of StreamSink: it reads a schema_version 1
@@ -134,6 +149,7 @@ type streamWire struct {
 // as-is, mirroring Session.Run's sink-error contract.
 func DecodeStream(r io.Reader, sink Sink) (SummaryEvent, error) {
 	dec := json.NewDecoder(r)
+	decisionSink, _ := sink.(DecisionSink)
 	for {
 		var w streamWire
 		if err := dec.Decode(&w); err != nil {
@@ -155,6 +171,23 @@ func DecodeStream(r io.Reader, sink Sink) (SummaryEvent, error) {
 			}
 		case "progress":
 			if err := sink.Progress(ProgressEvent{Stage: Stage(w.Stage), Experiment: w.Experiment, Completed: w.Completed, Total: w.Total}); err != nil {
+				return SummaryEvent{}, err
+			}
+		case "decision":
+			// Decisions are an optional extension: replayed only into sinks
+			// that implement DecisionSink, silently skipped otherwise —
+			// mirroring Session.Run, where non-implementing sinks never see
+			// them either. Truly unknown types below stay a hard error.
+			if decisionSink == nil {
+				continue
+			}
+			ev := DecisionEvent{
+				Experiment: w.Experiment, Cell: w.Cell, Index: w.Index,
+				Outcome: w.Outcome, Round: w.Round, Looks: w.Looks,
+				Votes: w.Votes, Budget: w.Budget,
+				Point: w.Point, Lo: w.Lo, Hi: w.Hi, Level: w.Level,
+			}
+			if err := decisionSink.Decision(ev); err != nil {
 				return SummaryEvent{}, err
 			}
 		case "summary":

@@ -83,6 +83,41 @@ type ResultEvent struct {
 	Doc        Document
 }
 
+// DecisionEvent reports one sequential-stopping decision of an adaptive
+// experiment (pop-sweep-adaptive): the outcome the confidence sequence
+// locked for one grid cell, with the vote accounting behind it. Decisions
+// are delivered strictly in grid order, after the experiment's ResultEvent
+// and before its RowEvents, and only to sinks that implement DecisionSink.
+// The wire encoding is a schema_version 1 NDJSON line of type "decision" —
+// an additive line type, so pre-adaptive decoders of the same schema never
+// see it (they reject adaptive studies upstream; see SchemaUnsupportedError).
+type DecisionEvent struct {
+	Experiment string
+	// Cell names the grid cell the decision is about (e.g. "LTEx2").
+	Cell string
+	// Index is the cell's position in the experiment's deterministic grid
+	// order, matching the row index of the experiment's Document.
+	Index int
+	// Outcome is "noticeable", "not-noticeable", or "exhausted".
+	Outcome string
+	// Round and Looks locate the decision in the allocator's round
+	// structure: the round the decision locked in, and how many confidence-
+	// sequence looks the cell consumed.
+	Round int
+	Looks int
+	// Votes is the number of votes actually simulated for the cell; Budget
+	// is what a fixed-budget run would have spent.
+	Votes  int64
+	Budget int64
+	// Point, Lo, Hi, Level describe the noticeability interval at the
+	// decision: the point estimate, its confidence bounds, and the
+	// always-valid confidence level they hold at.
+	Point float64
+	Lo    float64
+	Hi    float64
+	Level float64
+}
+
 // Sink consumes the event stream of Session.Run. Methods are called from a
 // single goroutine, in a deterministic order for Row and Summary events; a
 // non-nil error from any method cancels the run and is returned from Run.
@@ -99,6 +134,16 @@ type Sink interface {
 // RowEvents.
 type ResultSink interface {
 	Result(ResultEvent) error
+}
+
+// DecisionSink is an optional Sink extension for consumers of adaptive
+// experiments' stopping decisions. Decision is called once per grid cell,
+// in grid order, between the experiment's ResultEvent and its RowEvents.
+// Sinks that do not implement it simply never see decisions — the rest of
+// the stream is unchanged, which is what lets the decision line ride on
+// schema_version 1 without a bump.
+type DecisionSink interface {
+	Decision(DecisionEvent) error
 }
 
 // rowless marks the built-in sinks whose Row method is a no-op, so the

@@ -105,6 +105,77 @@ func TestDecodeStreamRoundTrip(t *testing.T) {
 	}
 }
 
+// decisionCollectSink extends collectSink with DecisionSink, recording the
+// decision events interleaved position too.
+type decisionCollectSink struct {
+	collectSink
+	decisions []DecisionEvent
+}
+
+func (s *decisionCollectSink) Decision(ev DecisionEvent) error {
+	s.decisions = append(s.decisions, ev)
+	return nil
+}
+
+// TestDecodeStreamDecisions: decision lines round-trip losslessly through
+// StreamSink → DecodeStream for DecisionSink implementors, and are silently
+// skipped for sinks that do not implement the extension — while truly
+// unknown line types remain a hard decode error (pinned above).
+func TestDecodeStreamDecisions(t *testing.T) {
+	decisions := []DecisionEvent{
+		{Experiment: "pop-sweep-adaptive", Cell: "LTEx0.25", Index: 0, Outcome: "noticeable",
+			Round: 1, Looks: 1, Votes: 780, Budget: 25000, Point: 0.9735897435897436,
+			Lo: 0.9551020408163265, Hi: 0.9851343454790823, Level: 0.9696048632218845},
+		{Experiment: "pop-sweep-adaptive", Cell: "LTEx4", Index: 4, Outcome: "exhausted",
+			Round: 9, Looks: 8, Votes: 25000, Budget: 25000, Point: 0.35,
+			Lo: 0.33, Hi: 0.37, Level: 0.95},
+	}
+	var wire bytes.Buffer
+	sink := StreamSink(&wire).(*streamSink)
+	for _, d := range decisions {
+		if err := sink.Decision(d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Summary(SummaryEvent{Experiments: 1}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Round trip into a DecisionSink implementor: same events, and
+	// re-encoding reproduces the original bytes.
+	var reenc bytes.Buffer
+	replay := StreamSink(&reenc).(*streamSink)
+	collector := &decisionCollectSink{}
+	if _, err := DecodeStream(bytes.NewReader(wire.Bytes()), collector); err != nil {
+		t.Fatal(err)
+	}
+	if len(collector.decisions) != len(decisions) {
+		t.Fatalf("decoded %d decisions, want %d", len(collector.decisions), len(decisions))
+	}
+	for i, d := range collector.decisions {
+		if d != decisions[i] {
+			t.Fatalf("decision %d drifted:\n got  %+v\n want %+v", i, d, decisions[i])
+		}
+	}
+	if _, err := DecodeStream(bytes.NewReader(wire.Bytes()), replay); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wire.Bytes(), reenc.Bytes()) {
+		t.Fatalf("decision decode→re-encode drifted:\n got  %q\n want %q", reenc.Bytes(), wire.Bytes())
+	}
+
+	// A sink without the extension skips decision lines and still reaches
+	// the summary.
+	plain := &collectSink{}
+	summary, err := DecodeStream(bytes.NewReader(wire.Bytes()), plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if summary.Experiments != 1 || len(plain.rows) != 0 {
+		t.Fatalf("plain sink replay inconsistent: %+v, %d rows", summary, len(plain.rows))
+	}
+}
+
 // TestDecodeStreamTruncated: a stream cut off before its summary line — a
 // cancelled server-side run or a dropped connection — surfaces as
 // ErrTruncatedStream instead of silently succeeding.
