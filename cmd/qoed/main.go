@@ -8,6 +8,16 @@
 //	     [-retry-after DUR] [-drain DUR]
 //	     [-store DIR] [-peers URL,URL,...] [-prewarm PATH|default]
 //	     [-worker | -coordinator URL,URL,...]
+//	     [-log-level LVL] [-log-format text|json] [-trace-log PATH]
+//	     [-debug-addr ADDR]
+//
+// Observability: every run records a lifecycle trace (admission → queue wait
+// → simulate → publish, plus disk/peer/fabric spans) under its deterministic
+// run ID, inspectable at GET /debug/trace/{id}; `-trace-log spans.ndjson`
+// tees finished spans to a file. `/metrics?format=prom` renders the counter
+// map as Prometheus text exposition with per-class latency summaries.
+// `-log-level`/`-log-format` shape the structured event log on stderr, and
+// `-debug-addr 127.0.0.1:6060` serves net/http/pprof off the study port.
 //
 // Durable result tier: `-store DIR` mounts a content-addressed disk spill
 // store under the RAM cache — finished streams are written through with
@@ -49,6 +59,7 @@
 //	                              byte-compatible with `qoebench -stream`
 //	GET  /v1/shard?study=...      worker: stream one shard range's aggregates
 //	GET  /v1/fabric/workers       coordinator: worker pool health
+//	GET  /debug/trace/{id}        stitched lifecycle trace of one run
 //
 // SIGINT/SIGTERM drains gracefully: admission stops, in-flight runs get
 // -drain to finish, then are cancelled cleanly through the same context
@@ -63,6 +74,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux, served only on -debug-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -84,8 +96,12 @@ func main() {
 	storeDir := flag.String("store", "", "disk spill store directory (durable result tier; empty disables)")
 	peers := flag.String("peers", "", "comma-separated peer daemon URLs to fill cache misses from (coordinator default: its worker pool)")
 	prewarm := flag.String("prewarm", "", "prewarm grid JSON file, or 'default' for the catalog hot set, computed at boot")
+	logLevel := flag.String("log-level", "info", "structured log level: debug, info, warn, error")
+	logFormat := flag.String("log-format", "text", "structured log format: text or json")
+	traceLog := flag.String("trace-log", "", "append finished spans as NDJSON to this file (tracing itself is always on)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this address (empty disables)")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: qoed [-addr :8080] [-workers N] [-queue N] [-cache-mb MB] [-retry-after DUR] [-drain DUR] [-store DIR] [-peers URL,...] [-prewarm PATH|default] [-worker | -coordinator URL,URL,...]\n")
+		fmt.Fprintf(os.Stderr, "usage: qoed [-addr :8080] [-workers N] [-queue N] [-cache-mb MB] [-retry-after DUR] [-drain DUR] [-store DIR] [-peers URL,...] [-prewarm PATH|default] [-worker | -coordinator URL,URL,...] [-log-level LVL] [-log-format FMT] [-trace-log PATH] [-debug-addr ADDR]\n")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -94,7 +110,25 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Two log planes: the std logger keeps the daemon's own lifecycle lines
+	// (the "qoed: listening on ..." readiness contract scripts parse), while
+	// the slog logger carries the serving layers' structured events at the
+	// operator-chosen level and format.
 	logger := log.New(os.Stderr, "", log.LstdFlags)
+	slogger, err := qoed.NewLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		logger.Fatalf("qoed: %v", err)
+	}
+	tracerCfg := qoed.TracerConfig{}
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			logger.Fatalf("qoed: trace log: %v", err)
+		}
+		defer f.Close()
+		tracerCfg.LogW = f
+	}
+	tracer := qoed.NewTracer(tracerCfg)
 	cacheBytes := *cacheMB << 20
 	if *cacheMB <= 0 {
 		// <= 0 disables caching outright; serve.Config treats exactly zero
@@ -107,12 +141,14 @@ func main() {
 		CacheBytes: cacheBytes,
 		RetryAfter: *retryAfter,
 		Logf:       logger.Printf,
+		Logger:     slogger,
+		Tracer:     tracer,
 		StoreDir:   *storeDir,
 		Peers:      splitURLs(*peers),
 	}
 	if *coordinator != "" {
 		pool := splitURLs(*coordinator)
-		fab, err := qoed.NewFabric(qoed.FabricConfig{Workers: pool, Logf: logger.Printf})
+		fab, err := qoed.NewFabric(qoed.FabricConfig{Workers: pool, Logger: slogger})
 		if err != nil {
 			logger.Fatalf("qoed: %v", err)
 		}
@@ -168,6 +204,18 @@ func main() {
 	// CI smoke job) parse the bound address from it, which is what makes
 	// `-addr 127.0.0.1:0` usable for hermetic harnesses.
 	logger.Printf("qoed: listening on %s", ln.Addr())
+
+	if *debugAddr != "" {
+		// pprof registers on DefaultServeMux at import; serving the nil mux
+		// on a separate opt-in listener keeps the profiling surface off the
+		// study-serving port entirely.
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			logger.Fatalf("qoed: debug listener: %v", err)
+		}
+		logger.Printf("qoed: pprof on http://%s/debug/pprof/", dln.Addr())
+		go func() { _ = http.Serve(dln, nil) }()
+	}
 
 	httpSrv := &http.Server{Handler: srv}
 	serveErr := make(chan error, 1)

@@ -302,7 +302,7 @@ func run() int {
 	rep.Blend = *blend
 	rep.Experiments = *experiments
 	rep.Scale = *scale
-	rep.ServerMetrics = scrapeMetrics(ctx, httpc, baseURL)
+	rep.ServerMetrics, rep.ServerLatency = scrapeMetrics(ctx, httpc, baseURL)
 
 	rep.evalSLOs(*maxP50, *maxP99, *maxDiskP99, *minRows, *maxErrRate)
 
@@ -507,8 +507,12 @@ type report struct {
 	Overall       classStats            `json:"overall"`
 	PerClass      map[string]classStats `json:"per_class"`
 	ServerMetrics map[string]int64      `json:"server_metrics,omitempty"`
-	SLOs          []sloResult           `json:"slos"`
-	Pass          bool                  `json:"pass"`
+	// ServerLatency is the daemon's own per-class serving-latency summary
+	// (keyed cold/mem/disk/peer/dedup), scraped from /metrics — the
+	// server-side complement of the harness-measured PerClass numbers.
+	ServerLatency map[string]qoe.LatencyStats `json:"server_latency,omitempty"`
+	SLOs          []sloResult                 `json:"slos"`
+	Pass          bool                        `json:"pass"`
 }
 
 // sloResult is one gate's verdict.
@@ -586,29 +590,40 @@ func buildReport(samples []sample, wall time.Duration, before, after runtime.Mem
 }
 
 // scrapeMetrics pulls the daemon's counter map so the report shows how the
-// blend actually landed (accepted vs deduped vs cache-hit vs rejected).
-// Best-effort: a scrape failure drops the section rather than the run.
-func scrapeMetrics(ctx context.Context, httpc *http.Client, baseURL string) map[string]int64 {
+// blend actually landed (accepted vs deduped vs cache-hit vs rejected),
+// plus the server's own per-class latency summaries — the serving-side view
+// of the same requests this harness timed end to end. Best-effort: a scrape
+// failure drops the section rather than the run. Nested objects (fabric,
+// adaptive, build_info) are skipped, not fatal.
+func scrapeMetrics(ctx context.Context, httpc *http.Client, baseURL string) (map[string]int64, map[string]qoe.LatencyStats) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
 	if err != nil {
-		return nil
+		return nil, nil
 	}
 	resp, err := httpc.Do(req)
 	if err != nil {
-		return nil
+		return nil, nil
 	}
 	defer resp.Body.Close()
-	var raw map[string]json.Number
+	var raw map[string]json.RawMessage
 	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
-		return nil
+		return nil, nil
 	}
 	out := make(map[string]int64, len(raw))
 	for k, v := range raw {
-		if n, err := v.Int64(); err == nil {
-			out[k] = n
+		var n json.Number
+		if err := json.Unmarshal(v, &n); err != nil {
+			continue
+		}
+		if i, err := n.Int64(); err == nil {
+			out[k] = i
 		}
 	}
-	return out
+	var lat map[string]qoe.LatencyStats
+	if v, ok := raw["latency"]; ok {
+		_ = json.Unmarshal(v, &lat)
+	}
+	return out, lat
 }
 
 // evalSLOs appends one verdict per configured gate plus the always-on
@@ -663,6 +678,16 @@ func (r *report) render(w *os.File) {
 		fmt.Fprintf(w, "  server: accepted=%d deduped=%d cache_hit=%d rejected=%d completed=%d bytes=%d\n",
 			r.ServerMetrics["runs_accepted"], r.ServerMetrics["runs_deduped"], r.ServerMetrics["runs_cache_hit"],
 			r.ServerMetrics["runs_rejected"], r.ServerMetrics["runs_completed"], r.ServerMetrics["bytes_streamed"])
+	}
+	if len(r.ServerLatency) > 0 {
+		for _, name := range []string{"cold", "mem", "disk", "peer", "dedup"} {
+			st, ok := r.ServerLatency[name]
+			if !ok || st.Count == 0 {
+				continue
+			}
+			fmt.Fprintf(w, "  server-latency %-6s %8d reqs   p50 %.1fms   p99 %.1fms\n",
+				name, st.Count, st.P50*1e3, st.P99*1e3)
+		}
 	}
 	for _, s := range r.SLOs {
 		verdict := "PASS"

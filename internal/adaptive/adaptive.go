@@ -34,9 +34,11 @@ import (
 	"expvar"
 	"fmt"
 	"math"
+	"strconv"
 
 	"repro/internal/population"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // CellSpec is one adaptive cell: a single A/B comparison with its own
@@ -244,6 +246,9 @@ func RunWith(ctx context.Context, specs []CellSpec, cfg Config, runner ShardRunn
 		runner = localRunner{specs: run}
 	}
 
+	// Spans stay at round/grant granularity — the engine's own decision
+	// cadence — never per-vote; a disabled trace context no-ops them all.
+	tc := telemetry.FromContext(ctx)
 	rounds := 0
 	for {
 		grants := allocate(states, cfg, rounds == 0)
@@ -251,6 +256,8 @@ func RunWith(ctx context.Context, specs []CellSpec, cfg Config, runner ShardRunn
 			break
 		}
 		rounds++
+		rsp := tc.Start("adaptive_round")
+		rsp.Attr("round", strconv.Itoa(rounds))
 		// Execute the round's grants in cell order. Each grant extends the
 		// cell's absorbed prefix; the runner may parallelize internally.
 		for ci := range states {
@@ -260,11 +267,23 @@ func RunWith(ctx context.Context, specs []CellSpec, cfg Config, runner ShardRunn
 			}
 			lo := st.acc.Shards()
 			r := population.ShardRange{Lo: lo, Hi: lo + grants[ci]}
-			shardStates, err := runner.RunShards(ctx, ci, r)
+			gsp := tc.Tracer.Start(tc.TraceID, "grant", rsp.ID())
+			gsp.Attr("cell", strconv.Itoa(ci))
+			gsp.Attr("shards", r.String())
+			grantCtx := ctx
+			if gsp != nil {
+				// Grants dispatched over the fabric parent their sub-job
+				// spans under this grant.
+				grantCtx = telemetry.NewContext(ctx, telemetry.TraceContext{Tracer: tc.Tracer, TraceID: tc.TraceID, Parent: gsp.ID()})
+			}
+			shardStates, err := runner.RunShards(grantCtx, ci, r)
+			gsp.EndErr(err)
 			if err != nil {
+				rsp.EndErr(err)
 				return Result{}, fmt.Errorf("adaptive: cell %d (%s) shards %s: %w", ci, run[ci].Label, r, err)
 			}
 			if err := st.acc.Absorb(shardStates); err != nil {
+				rsp.EndErr(err)
 				return Result{}, fmt.Errorf("adaptive: cell %d (%s): %w", ci, run[ci].Label, err)
 			}
 		}
@@ -297,6 +316,16 @@ func RunWith(ctx context.Context, specs []CellSpec, cfg Config, runner ShardRunn
 			if st.outcome != Undecided {
 				st.round = rounds
 			}
+		}
+		if rsp != nil {
+			decided := 0
+			for ci := range states {
+				if states[ci].outcome != Undecided {
+					decided++
+				}
+			}
+			rsp.Attr("decided_cells", strconv.Itoa(decided))
+			rsp.End()
 		}
 		if allDecided(states) {
 			break

@@ -22,13 +22,16 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/population"
+	"repro/internal/telemetry"
 	"repro/pkg/qoe"
 )
 
@@ -58,8 +61,12 @@ type Config struct {
 	// HTTPClient serves all workers (default http.DefaultClient; pass one
 	// without a global timeout, shard jobs run as long as the simulation).
 	HTTPClient *http.Client
-	// Logf, when set, receives one line per dispatch/retry event.
+	// Logf, when set, receives one line per dispatch/retry event. When
+	// Logger is unset, events render through this seam ("msg key=value").
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured dispatch/retry/health events
+	// directly. It takes precedence over Logf.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +81,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HTTPClient == nil {
 		c.HTTPClient = http.DefaultClient
+	}
+	if c.Logger == nil {
+		if c.Logf != nil {
+			c.Logger = telemetry.LogfLogger(c.Logf)
+		} else {
+			c.Logger = telemetry.Discard
+		}
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -91,13 +105,19 @@ type worker struct {
 	failures int64
 }
 
-func (w *worker) setHealthy(ok bool) {
+// setHealthy records a health observation and reports whether it was a
+// TRANSITION (healthy→unhealthy or unhealthy→recovered) — the edge the
+// structured health log events fire on, so a flapping worker logs per flap,
+// not per attempt.
+func (w *worker) setHealthy(ok bool) (changed bool) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if !ok {
 		w.failures++
 	}
+	changed = w.healthy != ok
 	w.healthy = ok
+	return changed
 }
 
 func (w *worker) state() (bool, int64) {
@@ -112,6 +132,15 @@ func (w *worker) state() (bool, int64) {
 type Coordinator struct {
 	cfg     Config
 	workers []*worker
+
+	// log receives the coordinator's structured events: dispatch retries,
+	// worker health transitions, retry exhaustion.
+	log *slog.Logger
+	// tr, wired via SetTracer before traffic, is the fallback tracer for
+	// contexts that carry a propagated trace identity without a tracer of
+	// their own; contexts that carry both (the daemon's run contexts) use
+	// theirs.
+	tr *telemetry.Tracer
 
 	// rr is the round-robin cursor spreading sub-jobs across the pool.
 	rrMu sync.Mutex
@@ -155,7 +184,7 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, errors.New("fabric: no workers configured")
 	}
 	cfg = cfg.withDefaults()
-	c := &Coordinator{cfg: cfg, affinity: map[string]*worker{}}
+	c := &Coordinator{cfg: cfg, log: cfg.Logger, affinity: map[string]*worker{}}
 	for _, u := range cfg.Workers {
 		c.workers = append(c.workers, &worker{url: u, client: qoe.NewClient(u, cfg.HTTPClient), healthy: true})
 	}
@@ -187,6 +216,12 @@ func New(cfg Config) (*Coordinator, error) {
 
 // Vars returns the coordinator's expvar map for mounting under /metrics.
 func (c *Coordinator) Vars() expvar.Var { return c.vars }
+
+// SetTracer wires a tracer into the coordinator for contexts that propagate
+// a trace identity without a tracer of their own. Call before the
+// coordinator dispatches work (the daemon does this at Open); nil disables
+// the fallback.
+func (c *Coordinator) SetTracer(t *telemetry.Tracer) { c.tr = t }
 
 // WorkerStatus is one pool member's state as reported by
 // /v1/fabric/workers. Metrics, when populated (WorkersStatusObserved),
@@ -241,18 +276,21 @@ func (c *Coordinator) CheckWorkers(ctx context.Context) error {
 	up := 0
 	for _, w := range c.workers {
 		ok := w.client.Healthy(ctx)
-		w.setHealthy(ok)
+		recovered := w.setHealthy(ok) && ok
 		if ok {
 			up++
+			if recovered {
+				c.log.Info("worker recovered", "worker", w.url)
+			}
 		} else {
 			c.workerFailures.Add(1)
-			c.cfg.Logf("fabric: worker %s failed health check", w.url)
+			c.log.Warn("worker failed health check", "worker", w.url)
 		}
 	}
 	if up == 0 {
 		return fmt.Errorf("fabric: none of %d workers are healthy", len(c.workers))
 	}
-	c.cfg.Logf("fabric: %d/%d workers healthy", up, len(c.workers))
+	c.log.Info("workers healthy", "up", up, "total", len(c.workers))
 	return nil
 }
 
@@ -334,6 +372,12 @@ func (c *Coordinator) recordAffinity(key string, w *worker) {
 func (c *Coordinator) runJob(ctx context.Context, req qoe.ShardRequest) ([]qoe.ShardData, error) {
 	r := req.Range
 	key := subJobKey(req)
+	tc := telemetry.FromContext(ctx)
+	if tc.Tracer == nil {
+		// Identity-only propagation: adopt the wired tracer. Still a no-op
+		// when the context carries no trace at all (empty trace ID).
+		tc.Tracer = c.tr
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if err := ctx.Err(); err != nil {
@@ -364,23 +408,62 @@ func (c *Coordinator) runJob(ctx context.Context, req qoe.ShardRequest) ([]qoe.S
 			w = c.nextWorker()
 		}
 		c.jobsDispatched.Add(1)
-		data, err := w.client.RunShards(ctx, req)
+		sp := tc.Start("dispatch")
+		sp.Attr("worker", w.url)
+		sp.Attr("shards", r.String())
+		sp.Attr("attempt", strconv.Itoa(attempt+1))
+		attemptCtx := ctx
+		if sp != nil {
+			// Re-parent the trace under this attempt's span: the client
+			// injects the traceparent header from this context, so the
+			// worker's spans hang off the exact dispatch that reached it —
+			// retries stitch as sibling dispatch spans, failed and
+			// succeeding workers both recorded.
+			attemptCtx = telemetry.NewContext(ctx, telemetry.TraceContext{Tracer: tc.Tracer, TraceID: tc.TraceID, Parent: sp.ID()})
+		}
+		data, err := w.client.RunShards(attemptCtx, req)
+		sp.EndErr(err)
 		if err == nil {
-			w.setHealthy(true)
+			if w.setHealthy(true) {
+				c.log.Info("worker recovered", "worker", w.url, "shards", r.String(), "attempt", attempt+1)
+			}
 			c.recordAffinity(key, w)
 			c.jobsCompleted.Add(1)
 			c.shardsComputed.Add(int64(len(data)))
+			c.collectWorkerTrace(ctx, w, tc)
 			return data, nil
 		}
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
 		lastErr = err
-		w.setHealthy(false)
+		if w.setHealthy(false) {
+			c.log.Warn("worker unhealthy", "worker", w.url, "shards", r.String(), "attempt", attempt+1)
+		}
 		c.workerFailures.Add(1)
-		c.cfg.Logf("fabric: shards %s attempt %d on %s failed: %v", r, attempt+1, w.url, err)
+		c.log.Warn("shard attempt failed", "worker", w.url, "shards", r.String(), "attempt", attempt+1, "err", err)
 	}
+	c.log.Error("shard retries exhausted", "shards", r.String(), "attempts", c.cfg.MaxAttempts, "err", lastErr)
 	return nil, fmt.Errorf("fabric: shards %s failed after %d attempts: %w", r, c.cfg.MaxAttempts, lastErr)
+}
+
+// collectWorkerTrace stitches the worker half of a completed sub-job into
+// the coordinator's trace by fetching the worker's span dump for the
+// propagated trace ID and merging it under the worker's URL as origin.
+// Strictly best effort: an unreachable worker, a disabled worker-side
+// tracer, or an already-evicted trace just leaves the coordinator-side
+// spans standing. The worker records its simulate spans before sealing the
+// shard stream, so a dump fetched after RunShards returns always carries
+// them.
+func (c *Coordinator) collectWorkerTrace(ctx context.Context, w *worker, tc telemetry.TraceContext) {
+	if tc.Tracer == nil || tc.TraceID == "" {
+		return
+	}
+	dump, err := w.client.Trace(ctx, tc.TraceID)
+	if err != nil {
+		return
+	}
+	tc.Tracer.Merge(tc.TraceID, w.url, dump.Spans)
 }
 
 // dispatch runs every sub-job of a plan with bounded in-flight concurrency
@@ -488,14 +571,18 @@ func (b tupleBackend) RunAB(ctx context.Context, cells []population.ABCell, cfg 
 	if err != nil {
 		return population.ABResult{}, err
 	}
+	sp := telemetry.FromContext(ctx).Start("reduce")
+	sp.Attr("study", qoe.StudyPopAB)
 	states := make([]population.ABShardState, len(data))
 	for i, d := range data {
 		if err := json.Unmarshal(d.State, &states[i]); err != nil {
 			b.c.studiesFailed.Add(1)
+			sp.EndErr(err)
 			return population.ABResult{}, fmt.Errorf("fabric: decoding shard %d state: %w", d.Shard, err)
 		}
 	}
 	res, err := population.ReduceAB(cells, cfg, states)
+	sp.EndErr(err)
 	if err != nil {
 		b.c.studiesFailed.Add(1)
 		return population.ABResult{}, err
@@ -515,14 +602,18 @@ func (b tupleBackend) RunRating(ctx context.Context, cells []population.RatingCe
 	if err != nil {
 		return population.RatingResult{}, err
 	}
+	sp := telemetry.FromContext(ctx).Start("reduce")
+	sp.Attr("study", qoe.StudyPopRating)
 	states := make([]population.RatingShardState, len(data))
 	for i, d := range data {
 		if err := json.Unmarshal(d.State, &states[i]); err != nil {
 			b.c.studiesFailed.Add(1)
+			sp.EndErr(err)
 			return population.RatingResult{}, fmt.Errorf("fabric: decoding shard %d state: %w", d.Shard, err)
 		}
 	}
 	res, err := population.ReduceRating(cells, cfg, states)
+	sp.EndErr(err)
 	if err != nil {
 		b.c.studiesFailed.Add(1)
 		return population.RatingResult{}, err

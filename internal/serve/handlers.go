@@ -8,6 +8,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/telemetry"
 	"repro/pkg/qoe"
 )
 
@@ -27,7 +28,8 @@ import (
 func (s *Server) routes() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /metrics", s.met.handleMetrics)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
 	mux.HandleFunc("POST /v1/runs", s.handleStartRun)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleRunStatus)
@@ -83,15 +85,54 @@ func (s *Server) writeAdmitError(w http.ResponseWriter, err error) {
 	}
 }
 
+// healthBody is the /healthz response: liveness plus what this daemon is
+// running and for how long — enough for a fleet operator to spot a skewed
+// or freshly-restarted worker from the health endpoint alone.
+type healthBody struct {
+	Status        string  `json:"status"`
+	Version       string  `json:"version"`
+	Revision      string  `json:"revision"`
+	GoVersion     string  `json:"go"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
+	b := telemetry.BuildInfo()
+	body := healthBody{
+		Status:        "ok",
+		Version:       b.Version,
+		Revision:      b.Revision,
+		GoVersion:     b.GoVersion,
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
 	if draining {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		body.Status = "draining"
+		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, http.StatusOK, body)
+}
+
+// handleTrace is GET /debug/trace/{id}: the stitched span dump of one trace
+// from the in-memory ring. On a coordinator the dump includes merged worker
+// spans (tagged with their origin URL); on a worker it holds that worker's
+// side of the story — which is exactly what a coordinator's stitch collects.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tr == nil {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "serve: tracing is disabled"})
+		return
+	}
+	id := r.PathValue("id")
+	dump, ok := s.tr.Snapshot(id)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorBody{Error: "serve: no trace for " + id})
+		return
+	}
+	dump.SchemaVersion = qoe.SchemaVersion
+	writeJSON(w, http.StatusOK, dump)
 }
 
 func catalogNetworks(infos []qoe.NetworkInfo) []qoe.CatalogNetwork {
@@ -279,15 +320,35 @@ func (s *Server) streamJob(w http.ResponseWriter, r *http.Request, j *job, subsc
 	s.met.bytesStreamed.Add(n)
 }
 
+// tierClass maps a finished-tier name onto its latency-histogram class.
+func tierClass(tier string) string {
+	if tier == "disk" {
+		return "disk"
+	}
+	return "mem"
+}
+
 // streamAdmission streams whatever admit routed the request to: cached
 // bytes (from whichever tier answered) or a live job (whose subscription
-// the admission already holds).
-func (s *Server) streamAdmission(w http.ResponseWriter, r *http.Request, adm admission) {
+// the admission already holds). start anchors the request's latency
+// observation — measured through the end of streaming, per class: mem/disk
+// for tier replays, peer/cold for created jobs (by how they resolved),
+// dedup for riders on someone else's live job.
+func (s *Server) streamAdmission(w http.ResponseWriter, r *http.Request, adm admission, start time.Time) {
 	if adm.cached != nil {
 		s.replayCached(w, adm.id, adm.source, adm.cached)
+		s.lat.Observe(tierClass(adm.source), time.Since(start))
 		return
 	}
 	s.streamJob(w, r, adm.j, true)
+	switch {
+	case !adm.created:
+		s.lat.Observe("dedup", time.Since(start))
+	case adm.j.wasPeerFilled():
+		s.lat.Observe("peer", time.Since(start))
+	default:
+		s.lat.Observe("cold", time.Since(start))
+	}
 }
 
 // handleWarmProbe answers the peer-fill protocol on the stream endpoint:
@@ -334,6 +395,7 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 		s.handleWarmProbe(w, r)
 		return
 	}
+	start := time.Now()
 	id := r.PathValue("id")
 	j, cached, _, tier, ok := s.lookup(id)
 	if !ok {
@@ -354,11 +416,12 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 			s.writeAdmitError(w, err)
 			return
 		}
-		s.streamAdmission(w, r, adm)
+		s.streamAdmission(w, r, adm, start)
 		return
 	}
 	if j == nil {
 		s.replayCached(w, id, tier, cached)
+		s.lat.Observe(tierClass(tier), time.Since(start))
 		return
 	}
 	// Attaching by ID is deliberate: if attach is refused, the job is
@@ -377,6 +440,7 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 // Retry-After. Jobs are ephemeral: a coordinator that disconnects
 // mid-range cancels the abandoned computation.
 func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	q := r.URL.Query()
 	seed, err := parseSeed(q.Get("seed"))
 	if err != nil {
@@ -425,12 +489,16 @@ func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error()})
 		return
 	}
-	adm, err := s.admit(spec, true)
+	// The traceparent header (if a coordinator sent one) re-parents this
+	// sub-job's spans under the coordinator's trace, so the distributed
+	// study stitches into a single trace. The header never touches the
+	// NDJSON stream — propagation is pure envelope.
+	adm, err := s.admitTraced(spec, true, r.Header.Get(telemetry.TraceparentHeader))
 	if err != nil {
 		s.writeAdmitError(w, err)
 		return
 	}
-	s.streamAdmission(w, r, adm)
+	s.streamAdmission(w, r, adm, start)
 }
 
 // handleFabricWorkers is GET /v1/fabric/workers on a coordinator daemon:
@@ -450,6 +518,7 @@ func (s *Server) handleFabricWorkers(w http.ResponseWriter, r *http.Request) {
 // streaming them disconnects before the run finishes, the run is cancelled
 // to reclaim its worker.
 func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
 	q := r.URL.Query()
 	seed, err := parseSeed(q.Get("seed"))
 	if err != nil {
@@ -466,5 +535,5 @@ func (s *Server) handleOneShot(w http.ResponseWriter, r *http.Request) {
 		s.writeAdmitError(w, err)
 		return
 	}
-	s.streamAdmission(w, r, adm)
+	s.streamAdmission(w, r, adm, start)
 }

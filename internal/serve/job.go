@@ -5,6 +5,7 @@ import (
 	"context"
 	"io"
 	"sync"
+	"time"
 )
 
 // jobState is a job's position in its lifecycle.
@@ -43,6 +44,16 @@ type job struct {
 	key  string
 	spec RunSpec
 
+	// Trace plumbing, set once at admission before the job is enqueued (and
+	// never written after, so workers read it without the job mutex):
+	// traceID is the trace the job's spans record under — the run's own ID,
+	// or the coordinator's trace propagated on the shard wire; traceParent
+	// is the remote span the root span parents to (0 for local roots);
+	// enqueued anchors the retroactive queue_wait span.
+	traceID     string
+	traceParent uint64
+	enqueued    time.Time
+
 	// runCtx governs the job's simulation; it descends from the server's
 	// base context, so a server drain deadline aborts every in-flight run.
 	runCtx context.Context
@@ -52,14 +63,15 @@ type job struct {
 	// instead of completing for an absent audience.
 	cancel context.CancelFunc
 
-	mu        sync.Mutex
-	wake      *sync.Cond // broadcast on append, finish, and subscriber ctx expiry
-	buf       []byte
-	state     jobState
-	err       error
-	subs      int  // attached subscribers
-	ephemeral bool // cancel when the last subscriber detaches before done
-	abandoned bool // the last-subscriber cancellation fired; no new attaches
+	mu         sync.Mutex
+	wake       *sync.Cond // broadcast on append, finish, and subscriber ctx expiry
+	buf        []byte
+	state      jobState
+	err        error
+	subs       int  // attached subscribers
+	ephemeral  bool // cancel when the last subscriber detaches before done
+	abandoned  bool // the last-subscriber cancellation fired; no new attaches
+	peerFilled bool // resolved by a peer fill, not a simulation
 }
 
 // newJob creates a job carrying its creator's subscription (subs starts at
@@ -129,6 +141,21 @@ func (j *job) tombstone() *job {
 	j.mu.Unlock()
 	t.wake = sync.NewCond(&t.mu)
 	return t
+}
+
+// markPeerFilled tags the job as resolved by a peer fill, so the latency
+// histogram files the request under "peer" rather than "cold".
+func (j *job) markPeerFilled() {
+	j.mu.Lock()
+	j.peerFilled = true
+	j.mu.Unlock()
+}
+
+// wasPeerFilled reads the peer-fill tag.
+func (j *job) wasPeerFilled() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.peerFilled
 }
 
 // status reports the job's current lifecycle position under the lock.

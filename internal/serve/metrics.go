@@ -3,8 +3,10 @@ package serve
 import (
 	"expvar"
 	"net/http"
+	"time"
 
 	"repro/internal/adaptive"
+	"repro/internal/telemetry"
 )
 
 // metrics is the server's counter set, exported as an expvar.Map that is
@@ -104,13 +106,33 @@ func newMetrics(s *Server) *metrics {
 	// cells stopped early, votes saved) surface under "adaptive" — the
 	// operational view of how much simulation the allocator is avoiding.
 	m.vars.Set("adaptive", adaptive.Vars())
+	// Observability of the daemon itself: what it's running, for how long,
+	// per-class serving latency quantiles, and (when tracing is on) the
+	// trace ring's occupancy.
+	m.vars.Set("uptime_seconds", expvar.Func(func() any { return time.Since(s.started).Seconds() }))
+	m.vars.Set("build_info", expvar.Func(func() any { return telemetry.BuildInfo() }))
+	m.vars.Set("latency", expvar.Func(func() any { return s.lat.Snapshot() }))
+	if s.tr != nil {
+		m.vars.Set("traces_retained", expvar.Func(func() any { return s.tr.Traces() }))
+		m.vars.Set("trace_spans_dropped", expvar.Func(func() any { return s.tr.Dropped() }))
+	}
 	return m
 }
 
-// handleMetrics renders the counter map. expvar.Map.String() is already the
-// canonical JSON rendering, so the endpoint costs nothing new.
-func (m *metrics) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics renders the counter map: by default the canonical expvar
+// JSON (expvar.Map.String(), so the endpoint costs nothing new), or — with
+// ?format=prom — the Prometheus text exposition of the same metric set plus
+// the per-class latency summaries and the build-info gauge.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		buf := telemetry.AppendPromMap(make([]byte, 0, 8<<10), "qoed", s.met.vars)
+		buf = s.lat.AppendProm(buf, "qoed_request_latency_seconds")
+		buf = telemetry.AppendPromBuildInfo(buf, "qoed", telemetry.BuildInfo())
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write(buf)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
-	_, _ = w.Write([]byte(m.vars.String()))
+	_, _ = w.Write([]byte(s.met.vars.String()))
 	_, _ = w.Write([]byte("\n"))
 }

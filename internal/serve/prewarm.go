@@ -143,7 +143,7 @@ func (s *Server) prewarmOne(ctx context.Context, spec RunSpec, stats *PrewarmSta
 			if jerr != nil {
 				stats.Failed++
 				s.met.prewarmFailed.Add(1)
-				s.cfg.Logf("serve: prewarm %s: %v", adm.id, jerr)
+				s.log.Warn("prewarm run failed", "id", adm.id, "err", jerr)
 				return ctx.Err() == nil
 			}
 			stats.Warmed++
@@ -162,7 +162,7 @@ func (s *Server) prewarmOne(ctx context.Context, spec RunSpec, stats *PrewarmSta
 		default:
 			stats.Failed++
 			s.met.prewarmFailed.Add(1)
-			s.cfg.Logf("serve: prewarm %s: %v", spec.Key(), err)
+			s.log.Warn("prewarm run failed", "key", spec.Key(), "err", err)
 			return true
 		}
 	}

@@ -32,6 +32,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"sync"
 	"time"
@@ -39,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/store"
+	"repro/internal/telemetry"
 	"repro/pkg/qoe"
 )
 
@@ -55,8 +57,18 @@ type Config struct {
 	CacheBytes int64
 	// RetryAfter is the hint returned with 429 responses (default 2s).
 	RetryAfter time.Duration
-	// Logf, when set, receives one line per run lifecycle event.
+	// Logf, when set, receives one line per run lifecycle event. When Logger
+	// is unset, lifecycle events render through this seam ("msg key=value"),
+	// so legacy capture hooks keep seeing every event.
 	Logf func(format string, args ...any)
+	// Logger, when set, receives structured lifecycle events directly. It
+	// takes precedence over Logf.
+	Logger *slog.Logger
+	// Tracer, when set, records run-lifecycle spans (admission, queue wait,
+	// simulate, publish, disk and peer tiers) under the run's deterministic
+	// trace ID and serves them at GET /debug/trace/{id}. Nil disables
+	// tracing; the serving paths pay one nil check.
+	Tracer *telemetry.Tracer
 	// Population, when set, routes the canonical pop-* engine calls of
 	// every served session through it — a coordinator daemon sets it to a
 	// fabric.Coordinator so served studies execute on the worker pool.
@@ -98,6 +110,13 @@ func (c Config) withDefaults() Config {
 	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 2 * time.Second
+	}
+	if c.Logger == nil {
+		if c.Logf != nil {
+			c.Logger = telemetry.LogfLogger(c.Logf)
+		} else {
+			c.Logger = telemetry.Discard
+		}
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -159,6 +178,10 @@ type Server struct {
 	met       *metrics
 	runFn     runFunc
 	shardExec *qoe.ShardExecutor
+	log       *slog.Logger
+	tr        *telemetry.Tracer     // nil: tracing disabled
+	lat       *telemetry.LatencySet // per-class request latency histograms
+	started   time.Time             // process uptime baseline for /metrics
 
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
@@ -218,7 +241,7 @@ func New(cfg Config) *Server {
 	s, err := Open(cfg)
 	if err != nil {
 		c := cfg.withDefaults()
-		c.Logf("serve: disk store disabled: %v", err)
+		c.Logger.Warn("disk store disabled", "err", err)
 		c.StoreDir = ""
 		s, _ = Open(c)
 	}
@@ -237,6 +260,15 @@ func Open(cfg Config) (*Server, error) {
 		done:      map[string]doneRecord{},
 		queue:     make(chan *job, cfg.QueueDepth),
 		shardExec: qoe.NewShardExecutor(2),
+		log:       cfg.Logger,
+		tr:        cfg.Tracer,
+		lat:       telemetry.NewLatencySet(latencyClasses...),
+		started:   time.Now(),
+	}
+	if cfg.Fabric != nil {
+		// The coordinator's dispatch/retry/reduce spans land in the same ring
+		// the serving paths use, so a distributed study reads as one trace.
+		cfg.Fabric.SetTracer(cfg.Tracer)
 	}
 	if cfg.StoreDir != "" {
 		st, err := store.Open(cfg.StoreDir, cfg.Logf)
@@ -289,6 +321,11 @@ var errQueueFull = errors.New("serve: run queue is full")
 // into 503.
 var errDraining = errors.New("serve: server is draining")
 
+// latencyClasses are the serving tiers the per-class request latency
+// histograms distinguish: a full simulation (cold), each finished tier (mem,
+// disk, peer), and requests that piggybacked on a live job (dedup).
+var latencyClasses = []string{"cold", "mem", "disk", "peer", "dedup"}
+
 // admit routes one canonical spec: dedup onto a live job, hit the result
 // cache, or create and enqueue a fresh job — refusing with errQueueFull
 // when the queue is saturated. ephemeral marks requests whose run should
@@ -298,8 +335,36 @@ var errDraining = errors.New("serve: server is draining")
 // (attach happens atomically with admission, so a concurrent
 // last-subscriber disconnect can never cancel a job between the two).
 func (s *Server) admit(spec RunSpec, ephemeral bool) (admission, error) {
+	return s.admitTraced(spec, ephemeral, "")
+}
+
+// traceAdmit records the admission span: one per request, tagged with the
+// outcome tier. Pre-interned outcome strings and a pooled span keep this
+// inside the cached path's alloc budget.
+func (s *Server) traceAdmit(traceID string, parent uint64, start time.Time, outcome string) {
+	if s.tr == nil {
+		return
+	}
+	sp := s.tr.StartAt(traceID, "admit", parent, start)
+	sp.Attr("outcome", outcome)
+	sp.EndAt(time.Now())
+}
+
+// admitTraced is admit carrying an optional traceparent header value from
+// the shard wire: a sub-job dispatched by a coordinator records its spans
+// under the COORDINATOR's trace ID (parented to its dispatch span), which is
+// what stitches a distributed study into one trace. An absent or malformed
+// header falls back to the run's own deterministic trace ID.
+func (s *Server) admitTraced(spec RunSpec, ephemeral bool, traceparent string) (admission, error) {
 	key := spec.Key()
 	id := idFromKey(key)
+	admitStart := time.Now()
+	traceID, parentSpan := id, uint64(0)
+	if traceparent != "" {
+		if tid, p, ok := telemetry.ParseTraceparent(traceparent); ok {
+			traceID, parentSpan = tid, p
+		}
+	}
 	// Fast pass under the lock: dedup and the RAM tier. The disk tier is
 	// probed between the two passes with the lock RELEASED — file I/O on the
 	// admission path must never stall every other request's ~100µs RAM hit.
@@ -311,6 +376,7 @@ func (s *Server) admit(spec RunSpec, ephemeral bool) (admission, error) {
 	if j, ok := s.live[id]; ok && j.attach(!ephemeral) {
 		s.met.runsDeduped.Add(1)
 		s.mu.Unlock()
+		s.traceAdmit(traceID, parentSpan, admitStart, "dedup")
 		return admission{j: j, key: key, id: id}, nil
 	}
 	// Either no live job, or attach refused it: the job was abandoned (its
@@ -323,13 +389,17 @@ func (s *Server) admit(spec RunSpec, ephemeral bool) (admission, error) {
 		s.met.runsCacheHit.Add(1)
 		s.met.cacheHitsMem.Add(1)
 		s.mu.Unlock()
+		s.traceAdmit(traceID, parentSpan, admitStart, "mem")
 		return admission{cached: data, source: "cache", key: key, id: id}, nil
 	}
 	s.mu.Unlock()
 
+	diskStart := time.Now()
 	if data, ok := s.diskGet(id); ok {
 		s.met.runsCacheHit.Add(1)
 		s.met.cacheHitsDisk.Add(1)
+		s.tr.Record(traceID, "disk_read", parentSpan, diskStart, time.Now())
+		s.traceAdmit(traceID, parentSpan, admitStart, "disk")
 		return admission{cached: data, source: "disk", key: key, id: id}, nil
 	}
 
@@ -343,20 +413,24 @@ func (s *Server) admit(spec RunSpec, ephemeral bool) (admission, error) {
 	}
 	if j, ok := s.live[id]; ok && j.attach(!ephemeral) {
 		s.met.runsDeduped.Add(1)
+		s.traceAdmit(traceID, parentSpan, admitStart, "dedup")
 		return admission{j: j, key: key, id: id}, nil
 	}
 	if data, _, ok := s.cache.get(id); ok {
 		s.met.runsCacheHit.Add(1)
 		s.met.cacheHitsMem.Add(1)
+		s.traceAdmit(traceID, parentSpan, admitStart, "mem")
 		return admission{cached: data, source: "cache", key: key, id: id}, nil
 	}
 	runCtx, cancel := context.WithCancel(s.baseCtx)
 	j := newJob(id, key, spec, runCtx, cancel, ephemeral)
+	j.traceID, j.traceParent, j.enqueued = traceID, parentSpan, time.Now()
 	select {
 	case s.queue <- j:
 	default:
 		cancel()
 		s.met.runsRejected.Add(1)
+		s.traceAdmit(traceID, parentSpan, admitStart, "rejected")
 		return admission{}, errQueueFull
 	}
 	s.live[id] = j
@@ -369,7 +443,8 @@ func (s *Server) admit(spec RunSpec, ephemeral bool) (admission, error) {
 	// attempt of a tuple with a done record plants no tombstone.
 	delete(s.failed, id)
 	s.met.runsAccepted.Add(1)
-	s.cfg.Logf("serve: accepted run %s (%s)", id, key)
+	s.traceAdmit(traceID, parentSpan, admitStart, "accepted")
+	s.log.Info("run accepted", "id", id, "key", key)
 	return admission{j: j, key: key, id: id, created: true}, nil
 }
 
@@ -422,7 +497,7 @@ func (s *Server) diskGetKeyed(id string) ([]byte, string, bool) {
 		return nil, "", false
 	}
 	if idFromKey(key) != id {
-		s.cfg.Logf("serve: spill entry %s fails content-address check (key %q); ignoring", id, key)
+		s.log.Warn("spill entry fails content-address check; ignoring", "id", id, "key", key)
 		return nil, "", false
 	}
 	s.spill(s.cache.add(id, key, data))
@@ -439,7 +514,7 @@ func (s *Server) spill(evicted []*cacheEntry) {
 	}
 	for _, e := range evicted {
 		if err := s.store.Put(e.id, e.key, e.data); err != nil {
-			s.cfg.Logf("serve: demoting %s to disk: %v", e.id, err)
+			s.log.Warn("demoting to disk failed", "id", e.id, "err", err)
 		}
 	}
 }
@@ -450,7 +525,7 @@ func (s *Server) publish(id, key string, data []byte) {
 	s.spill(s.cache.add(id, key, data))
 	if s.store != nil {
 		if err := s.store.Put(id, key, data); err != nil {
-			s.cfg.Logf("serve: spilling %s to disk: %v", id, err)
+			s.log.Warn("spilling to disk failed", "id", id, "err", err)
 		}
 	}
 }
@@ -472,12 +547,37 @@ func (s *Server) worker() {
 // buffer exactly as simulated bytes would, so concurrent waiters can't tell
 // the difference — and runs_started stays untouched, because nothing ran.
 func (s *Server) runJob(j *job) {
-	if s.peerFill(j) {
+	// The root "run" span opens retroactively at enqueue time, so its
+	// duration is the client-visible queue-wait + execution wall; the
+	// explicit queue_wait child makes the admission backlog legible on its
+	// own. Sub-jobs parent under the coordinator's dispatch span via the
+	// propagated trace fields.
+	var root *telemetry.Span
+	if s.tr != nil {
+		root = s.tr.StartAt(j.traceID, "run", j.traceParent, j.enqueued)
+		root.Attr("run_id", j.id)
+		if j.spec.Shard != nil {
+			root.Attr("kind", "shard")
+		} else {
+			root.Attr("kind", "run")
+		}
+		s.tr.Record(j.traceID, "queue_wait", root.ID(), j.enqueued, time.Now())
+	}
+	if s.peerFill(j, root) {
+		root.End()
 		return
 	}
 	s.met.runsStarted.Add(1)
 	j.start()
-	err := s.runFn(j.runCtx, j.spec, j)
+	sim := s.tr.Start(j.traceID, "simulate", root.ID())
+	runCtx := j.runCtx
+	if s.tr != nil {
+		// Layers below the handler (the fabric backend inside a session, the
+		// adaptive engine) parent their spans under the simulate span.
+		runCtx = telemetry.NewContext(runCtx, telemetry.TraceContext{Tracer: s.tr, TraceID: j.traceID, Parent: sim.ID()})
+	}
+	err := s.runFn(runCtx, j.spec, j)
+	sim.EndErr(err)
 	buf := j.finish(err)
 
 	if err == nil {
@@ -487,16 +587,19 @@ func (s *Server) runJob(j *job) {
 		// end for the same reason: admit must never observe a successful
 		// job in a visibly-cancelled intermediate state.
 		s.met.runsCompleted.Add(1)
+		pub := s.tr.Start(j.traceID, "publish", root.ID())
 		s.publish(j.id, j.key, buf)
+		pub.End()
 	} else {
 		s.met.runsFailed.Add(1)
 	}
+	root.EndErr(err)
 	s.retire(j, err, buf)
 	if err != nil {
-		s.cfg.Logf("serve: run %s failed: %v", j.id, err)
+		s.log.Error("run failed", "id", j.id, "err", err)
 		return
 	}
-	s.cfg.Logf("serve: run %s done (%d bytes)", j.id, len(buf))
+	s.log.Info("run done", "id", j.id, "bytes", len(buf))
 }
 
 // retire removes a finished job from the singleflight table and records its
@@ -536,28 +639,35 @@ func (s *Server) retire(j *job, err error, buf []byte) {
 // deduplicated onto j is served by this one probe. Shard sub-jobs are
 // exempt: their streams are per-shard aggregate states, not run events, and
 // the fabric's worker affinity already routes them to warm workers.
-func (s *Server) peerFill(j *job) bool {
+func (s *Server) peerFill(j *job, root *telemetry.Span) bool {
 	if len(s.peers) == 0 || j.spec.Shard != nil {
 		return false
 	}
-	for _, p := range s.peers {
+	for i, p := range s.peers {
 		if j.runCtx.Err() != nil {
 			return false // abandoned or draining; let runJob unwind it
 		}
+		fill := s.tr.Start(j.traceID, "peer_fill", root.ID())
+		fill.Attr("peer", s.cfg.Peers[i])
 		data, err := p.FetchWarmRun(j.runCtx, j.id)
 		if err != nil {
+			fill.EndErr(err)
 			if !errors.Is(err, qoe.ErrRunNotWarm) && j.runCtx.Err() == nil {
-				s.cfg.Logf("serve: peer fill %s: %v", j.id, err)
+				s.log.Warn("peer fill failed", "id", j.id, "peer", s.cfg.Peers[i], "err", err)
 			}
 			continue
 		}
 		j.start()
 		_, _ = j.Write(data)
+		j.markPeerFilled()
 		buf := j.finish(nil)
+		fill.End()
 		s.met.cacheHitsPeer.Add(1)
+		pub := s.tr.Start(j.traceID, "publish", root.ID())
 		s.publish(j.id, j.key, buf)
+		pub.End()
 		s.retire(j, nil, buf)
-		s.cfg.Logf("serve: run %s filled from peer (%d bytes)", j.id, len(buf))
+		s.log.Info("run filled from peer", "id", j.id, "peer", s.cfg.Peers[i], "bytes", len(buf))
 		return true
 	}
 	return false

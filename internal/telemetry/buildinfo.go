@@ -1,0 +1,46 @@
+package telemetry
+
+import (
+	"runtime/debug"
+	"sync"
+)
+
+// Build identifies what a daemon is running: the module version (devel for
+// source builds), the VCS revision baked in by the Go toolchain, and the Go
+// version itself. A fleet operator diffs these across workers to catch
+// skewed deploys.
+type Build struct {
+	Version   string `json:"version"`
+	Revision  string `json:"revision"`
+	Modified  bool   `json:"modified,omitempty"`
+	GoVersion string `json:"go"`
+}
+
+var (
+	buildOnce sync.Once
+	buildVal  Build
+)
+
+// BuildInfo reads the binary's embedded build metadata once and caches it.
+func BuildInfo() Build {
+	buildOnce.Do(func() {
+		buildVal = Build{Version: "unknown", Revision: "unknown"}
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildVal.GoVersion = bi.GoVersion
+		if bi.Main.Version != "" {
+			buildVal.Version = bi.Main.Version
+		}
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildVal.Revision = s.Value
+			case "vcs.modified":
+				buildVal.Modified = s.Value == "true"
+			}
+		}
+	})
+	return buildVal
+}

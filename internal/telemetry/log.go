@@ -1,0 +1,163 @@
+package telemetry
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Structured logging for the fleet. cmd/qoed builds one slog.Logger from
+// -log-level/-log-format and hands it down through the serve and fabric
+// configs; library code that still exposes the legacy Logf func(format, ...)
+// seam (many tests inject it) is bridged the other way by LogfLogger, so
+// both styles converge on slog.Handler.
+
+// NewLogger builds a logger writing to w. level is one of debug, info, warn,
+// error (default info); format is text or json (default text).
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	var lv slog.Level
+	switch strings.ToLower(level) {
+	case "", "info":
+		lv = slog.LevelInfo
+	case "debug":
+		lv = slog.LevelDebug
+	case "warn", "warning":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log level %q (want debug|info|warn|error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch strings.ToLower(format) {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("telemetry: unknown log format %q (want text|json)", format)
+	}
+}
+
+// LogfLogger wraps a legacy printf-style sink as a slog.Logger: each record
+// renders as "msg key=value …" through one Logf call. A nil logf yields a
+// logger that discards everything.
+func LogfLogger(logf func(format string, args ...any)) *slog.Logger {
+	return slog.New(&logfHandler{logf: logf})
+}
+
+type logfHandler struct {
+	logf  func(format string, args ...any)
+	attrs []slog.Attr
+	group string
+}
+
+func (h *logfHandler) Enabled(_ context.Context, level slog.Level) bool {
+	return h.logf != nil && level >= slog.LevelInfo
+}
+
+func (h *logfHandler) Handle(_ context.Context, r slog.Record) error {
+	var b strings.Builder
+	b.WriteString(r.Message)
+	// Pre-bound attrs carry their group prefix from WithAttrs time; only
+	// record attrs take the handler's current group.
+	for _, a := range h.attrs {
+		writeAttr(&b, "", a)
+	}
+	r.Attrs(func(a slog.Attr) bool {
+		writeAttr(&b, h.group, a)
+		return true
+	})
+	h.logf("%s", b.String())
+	return nil
+}
+
+func writeAttr(b *strings.Builder, group string, a slog.Attr) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	b.WriteByte(' ')
+	if group != "" {
+		b.WriteString(group)
+		b.WriteByte('.')
+	}
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindTime {
+		b.WriteString(v.Time().Format(time.RFC3339))
+		return
+	}
+	s := v.String()
+	if strings.ContainsAny(s, " \t\n\"") {
+		fmt.Fprintf(b, "%q", s)
+		return
+	}
+	b.WriteString(s)
+}
+
+func (h *logfHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append([]slog.Attr(nil), h.attrs...)
+	for _, a := range attrs {
+		if h.group != "" {
+			a.Key = h.group + "." + a.Key
+		}
+		nh.attrs = append(nh.attrs, a)
+	}
+	return &nh
+}
+
+func (h *logfHandler) WithGroup(name string) slog.Handler {
+	nh := *h
+	if nh.group != "" {
+		nh.group += "." + name
+	} else {
+		nh.group = name
+	}
+	return &nh
+}
+
+// Discard is a logger that drops every record — the default for library
+// configs whose caller provided neither a Logger nor a Logf.
+var Discard = slog.New(discardHandler{})
+
+type discardHandler struct{}
+
+func (discardHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (discardHandler) Handle(context.Context, slog.Record) error { return nil }
+func (discardHandler) WithAttrs([]slog.Attr) slog.Handler        { return discardHandler{} }
+func (discardHandler) WithGroup(string) slog.Handler             { return discardHandler{} }
+
+// OnceMap suppresses repeat log events for the same key (worker health flaps
+// would otherwise spam one line per retry attempt). First returns true only
+// the first time key is seen since the last Reset(key).
+type OnceMap struct {
+	mu   sync.Mutex
+	seen map[string]struct{}
+}
+
+// NewOnceMap tracks level-triggered log events by key.
+func NewOnceMap() *OnceMap { return &OnceMap{seen: map[string]struct{}{}} }
+
+// First reports whether key is newly set (true exactly once until Reset).
+func (o *OnceMap) First(key string) bool {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	if _, ok := o.seen[key]; ok {
+		return false
+	}
+	o.seen[key] = struct{}{}
+	return true
+}
+
+// Reset clears key so the next First(key) fires again.
+func (o *OnceMap) Reset(key string) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	delete(o.seen, key)
+}

@@ -1,0 +1,428 @@
+package telemetry
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSpanLifecycleAndSnapshot(t *testing.T) {
+	tr := New(Config{})
+	root := tr.Start("a1b2", "run", 0)
+	root.Attr("source", "cold")
+	child := tr.Start("a1b2", "simulate", root.ID())
+	child.End()
+	root.End()
+
+	dump, ok := tr.Snapshot("a1b2")
+	if !ok {
+		t.Fatal("trace not found")
+	}
+	if len(dump.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(dump.Spans))
+	}
+	// Sorted by start time: root first.
+	if dump.Spans[0].Name != "run" || dump.Spans[1].Name != "simulate" {
+		t.Fatalf("unexpected span order: %q, %q", dump.Spans[0].Name, dump.Spans[1].Name)
+	}
+	if dump.Spans[1].ParentID != dump.Spans[0].SpanID {
+		t.Fatalf("child parent %d != root id %d", dump.Spans[1].ParentID, dump.Spans[0].SpanID)
+	}
+	if got := dump.Spans[0].Attrs.Get("source"); got != "cold" {
+		t.Fatalf("root attr source = %q, want cold", got)
+	}
+	if _, ok := tr.Snapshot("missing"); ok {
+		t.Fatal("Snapshot(missing) reported ok")
+	}
+}
+
+func TestNilTracerAndSpanSafe(t *testing.T) {
+	var tr *Tracer
+	s := tr.Start("id", "x", 0)
+	if s != nil {
+		t.Fatal("nil tracer returned non-nil span")
+	}
+	s.Attr("k", "v") // must not panic
+	s.End()
+	s.EndErr(fmt.Errorf("boom"))
+	if s.ID() != 0 {
+		t.Fatal("nil span has nonzero ID")
+	}
+	tr.Merge("id", "origin", []SpanRecord{{SpanID: 1}})
+	tr.Record("id", "x", 0, time.Now(), time.Now())
+	if _, ok := tr.Snapshot("id"); ok {
+		t.Fatal("nil tracer snapshot ok")
+	}
+	var tc TraceContext // zero context: nil tracer
+	tc.Start("x").End()
+}
+
+func TestDoubleEndRecordsOnce(t *testing.T) {
+	tr := New(Config{})
+	s := tr.Start("t1", "x", 0)
+	s.End()
+	s.End()
+	dump, _ := tr.Snapshot("t1")
+	if len(dump.Spans) != 1 {
+		t.Fatalf("double End recorded %d spans, want 1", len(dump.Spans))
+	}
+}
+
+func TestSpanErrAndRecord(t *testing.T) {
+	tr := New(Config{})
+	s := tr.Start("t1", "dispatch", 0)
+	s.EndErr(fmt.Errorf("worker down"))
+	start := time.Now().Add(-time.Second)
+	id := tr.Record("t1", "queue_wait", 7, start, time.Now(), String("depth", "3"))
+	if id == 0 {
+		t.Fatal("Record returned zero span id")
+	}
+	dump, _ := tr.Snapshot("t1")
+	if len(dump.Spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(dump.Spans))
+	}
+	var sawErr, sawQueue bool
+	for _, sp := range dump.Spans {
+		if sp.Name == "dispatch" && sp.Err == "worker down" {
+			sawErr = true
+		}
+		if sp.Name == "queue_wait" && sp.ParentID == 7 && sp.Attrs.Get("depth") == "3" && sp.DurNS >= int64(time.Second) {
+			sawQueue = true
+		}
+	}
+	if !sawErr || !sawQueue {
+		t.Fatalf("missing spans: err=%v queue=%v in %+v", sawErr, sawQueue, dump.Spans)
+	}
+}
+
+func TestRingEviction(t *testing.T) {
+	tr := New(Config{MaxTraces: 2})
+	for _, id := range []string{"t1", "t2", "t3"} {
+		tr.Start(id, "x", 0).End()
+	}
+	if _, ok := tr.Snapshot("t1"); ok {
+		t.Fatal("oldest trace t1 survived eviction")
+	}
+	for _, id := range []string{"t2", "t3"} {
+		if _, ok := tr.Snapshot(id); !ok {
+			t.Fatalf("trace %s evicted early", id)
+		}
+	}
+	if tr.Traces() != 2 {
+		t.Fatalf("Traces() = %d, want 2", tr.Traces())
+	}
+}
+
+func TestMaxSpansDrops(t *testing.T) {
+	tr := New(Config{MaxSpans: 3})
+	for i := 0; i < 5; i++ {
+		tr.Start("t1", "s", 0).End()
+	}
+	dump, _ := tr.Snapshot("t1")
+	if len(dump.Spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(dump.Spans))
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped() = %d, want 2", tr.Dropped())
+	}
+}
+
+func TestMergeDedupeAndOrigin(t *testing.T) {
+	tr := New(Config{})
+	tr.Start("t1", "coordinator", 0).End()
+	workerSpans := []SpanRecord{
+		{TraceID: "t1", SpanID: 1, Name: "simulate", StartNS: 10},
+		{TraceID: "t1", SpanID: 2, Name: "shard", StartNS: 20},
+	}
+	tr.Merge("t1", "http://w1", workerSpans)
+	tr.Merge("t1", "http://w1", workerSpans) // re-collect must not duplicate
+	tr.Merge("t1", "http://w2", []SpanRecord{{TraceID: "t1", SpanID: 1, Name: "simulate", StartNS: 30}})
+
+	dump, _ := tr.Snapshot("t1")
+	if len(dump.Spans) != 4 {
+		t.Fatalf("got %d spans, want 4 (1 local + 2 w1 + 1 w2): %+v", len(dump.Spans), dump.Spans)
+	}
+	origins := map[string]int{}
+	for _, sp := range dump.Spans {
+		origins[sp.Origin]++
+	}
+	if origins["http://w1"] != 2 || origins["http://w2"] != 1 || origins[""] != 1 {
+		t.Fatalf("origin counts wrong: %v", origins)
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := strings.Repeat("ab", 16)
+	h := FormatTraceparent(id, 0xdeadbeef)
+	if len(h) != 55 {
+		t.Fatalf("header length %d, want 55: %q", len(h), h)
+	}
+	gotID, gotParent, ok := ParseTraceparent(h)
+	if !ok || gotID != id || gotParent != 0xdeadbeef {
+		t.Fatalf("round trip: id=%q parent=%x ok=%v", gotID, gotParent, ok)
+	}
+	for _, bad := range []string{
+		"",
+		"00-short-1-01",
+		"01-" + id + "-0000000000000001-01", // we emit version 00 only
+		"00-" + strings.Repeat("ZZ", 16) + "-0000000000000001-01",
+		"00-" + id + "-00000000000000ZZ-01",
+		"00-" + id + "_0000000000000001-01",
+	} {
+		if _, _, ok := ParseTraceparent(bad); ok {
+			t.Fatalf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceContextFlow(t *testing.T) {
+	tr := New(Config{})
+	tc := TraceContext{Tracer: tr, TraceID: "t9", Parent: 42}
+	ctx := NewContext(t.Context(), tc)
+	got := FromContext(ctx)
+	if got.Tracer != tr || got.TraceID != "t9" || got.Parent != 42 {
+		t.Fatalf("FromContext = %+v", got)
+	}
+	got.Start("child").End()
+	dump, _ := tr.Snapshot("t9")
+	if len(dump.Spans) != 1 || dump.Spans[0].ParentID != 42 {
+		t.Fatalf("context span wrong: %+v", dump.Spans)
+	}
+	if FromContext(t.Context()).Tracer != nil {
+		t.Fatal("empty context produced a tracer")
+	}
+}
+
+func TestSpanNDJSONLog(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(Config{LogW: &buf})
+	s := tr.Start("t1", "run", 0)
+	s.Attr("source", "mem")
+	s.End()
+	tr.Start("t1", "publish", s.ID()).End()
+
+	sc := bufio.NewScanner(&buf)
+	var lines int
+	for sc.Scan() {
+		var rec SpanRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("line %d not valid JSON: %v: %s", lines, err, sc.Text())
+		}
+		if rec.TraceID != "t1" {
+			t.Fatalf("line %d trace %q", lines, rec.TraceID)
+		}
+		lines++
+	}
+	if lines != 2 {
+		t.Fatalf("got %d NDJSON lines, want 2", lines)
+	}
+}
+
+func TestAttrsJSONRoundTrip(t *testing.T) {
+	in := Attrs{{Key: "worker", Value: "http://w1"}, {Key: "attempt", Value: "2"}}
+	b, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b) != `{"worker":"http://w1","attempt":"2"}` {
+		t.Fatalf("marshal: %s", b)
+	}
+	var out Attrs
+	if err := json.Unmarshal(b, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Get("worker") != "http://w1" || out.Get("attempt") != "2" {
+		t.Fatalf("unmarshal: %+v", out)
+	}
+}
+
+func TestLatencyHistQuantiles(t *testing.T) {
+	set := NewLatencySet("mem", "cold")
+	for i := 0; i < 1000; i++ {
+		set.Observe("mem", 100*time.Microsecond)
+	}
+	set.Observe("cold", 2*time.Second)
+	set.Observe("unknown", time.Hour) // dropped
+
+	mem := set.Get("mem")
+	if mem.Count != 1000 {
+		t.Fatalf("mem count %d", mem.Count)
+	}
+	// Log-domain bins are ~12% wide; accept a generous band.
+	if mem.P50 < 50e-6 || mem.P50 > 200e-6 {
+		t.Fatalf("mem p50 %g out of band", mem.P50)
+	}
+	cold := set.Get("cold")
+	if cold.Count != 1 || cold.P99 < 1 || cold.P99 > 4 {
+		t.Fatalf("cold stats %+v", cold)
+	}
+	if set.Get("unknown").Count != 0 {
+		t.Fatal("unknown class recorded")
+	}
+	empty := NewLatencySet("x").Get("x")
+	if empty.Count != 0 || empty.P50 != 0 {
+		t.Fatalf("empty class nonzero: %+v", empty)
+	}
+	var nilSet *LatencySet
+	nilSet.Observe("mem", time.Second)
+	if nilSet.Snapshot() != nil || nilSet.Classes() != nil {
+		t.Fatal("nil set misbehaved")
+	}
+}
+
+func TestPromExposition(t *testing.T) {
+	m := new(expvar.Map).Init()
+	var c expvar.Int
+	c.Set(7)
+	m.Set("runs_accepted", &c)
+	m.Set("cache_hit_rate", expvar.Func(func() any { return 0.5 }))
+	nested := new(expvar.Map).Init()
+	var n expvar.Int
+	n.Set(3)
+	nested.Set("shard_retries", &n)
+	m.Set("fabric", nested)
+	m.Set("weird.key", expvar.Func(func() any { return 1 }))
+	m.Set("status", expvar.Func(func() any { return "ok" })) // non-numeric: skipped
+
+	out := string(AppendPromMap(nil, "qoed", m))
+	for _, want := range []string{
+		"# TYPE qoed_runs_accepted counter\nqoed_runs_accepted 7\n",
+		"# TYPE qoed_cache_hit_rate gauge\nqoed_cache_hit_rate 0.5\n",
+		"# TYPE qoed_fabric_shard_retries counter\nqoed_fabric_shard_retries 3\n",
+		"qoed_weird_key 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "status") {
+		t.Fatalf("non-numeric var leaked into exposition:\n%s", out)
+	}
+
+	set := NewLatencySet("mem")
+	set.Observe("mem", time.Millisecond)
+	out = string(set.AppendProm(nil, "qoed_request_latency_seconds"))
+	for _, want := range []string{
+		"# TYPE qoed_request_latency_seconds summary",
+		`qoed_request_latency_seconds{class="mem",quantile="0.5"} `,
+		`qoed_request_latency_seconds_count{class="mem"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("summary missing %q:\n%s", want, out)
+		}
+	}
+
+	out = string(AppendPromBuildInfo(nil, "qoed", Build{Version: "v1", Revision: "abc", GoVersion: "go1.24"}))
+	if !strings.Contains(out, `qoed_build_info{version="v1",revision="abc",go="go1.24"} 1`) {
+		t.Fatalf("build info exposition wrong:\n%s", out)
+	}
+}
+
+func TestConcurrentSpans(t *testing.T) {
+	tr := New(Config{MaxTraces: 8, MaxSpans: 10000})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			id := fmt.Sprintf("trace%d", g%4)
+			for i := 0; i < 100; i++ {
+				s := tr.Start(id, "op", 0)
+				s.Attr("i", "x")
+				s.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	total := 0
+	for g := 0; g < 4; g++ {
+		dump, ok := tr.Snapshot(fmt.Sprintf("trace%d", g))
+		if !ok {
+			t.Fatalf("trace%d missing", g)
+		}
+		total += len(dump.Spans)
+	}
+	if total != 800 {
+		t.Fatalf("total spans %d, want 800", total)
+	}
+}
+
+func TestLogfLoggerBridge(t *testing.T) {
+	var lines []string
+	lg := LogfLogger(func(format string, args ...any) {
+		lines = append(lines, fmt.Sprintf(format, args...))
+	})
+	lg.Info("worker unhealthy", "worker", "http://w1", "attempt", 2)
+	lg.Debug("invisible") // below bridge threshold
+	lg.With("job", "j1").WithGroup("shard").Warn("retry", "range", "0-8")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %v", len(lines), lines)
+	}
+	if lines[0] != "worker unhealthy worker=http://w1 attempt=2" {
+		t.Fatalf("line 0: %q", lines[0])
+	}
+	if lines[1] != "retry job=j1 shard.range=0-8" {
+		t.Fatalf("line 1: %q", lines[1])
+	}
+	LogfLogger(nil).Info("dropped")
+	Discard.Error("dropped")
+}
+
+func TestOnceMap(t *testing.T) {
+	o := NewOnceMap()
+	if !o.First("w1") || o.First("w1") {
+		t.Fatal("First not once")
+	}
+	o.Reset("w1")
+	if !o.First("w1") {
+		t.Fatal("Reset did not rearm")
+	}
+}
+
+func TestBuildInfo(t *testing.T) {
+	b := BuildInfo()
+	if b.Version == "" || b.Revision == "" {
+		t.Fatalf("build info empty: %+v", b)
+	}
+	if b != BuildInfo() {
+		t.Fatal("BuildInfo not stable")
+	}
+}
+
+func TestNewLogger(t *testing.T) {
+	var buf bytes.Buffer
+	lg, err := NewLogger(&buf, "debug", "json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lg.Debug("hello", "k", "v")
+	var rec map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &rec); err != nil {
+		t.Fatalf("json log line invalid: %v: %s", err, buf.String())
+	}
+	if rec["msg"] != "hello" || rec["k"] != "v" {
+		t.Fatalf("record: %v", rec)
+	}
+	if _, err := NewLogger(&buf, "loud", "text"); err == nil {
+		t.Fatal("bad level accepted")
+	}
+	if _, err := NewLogger(&buf, "info", "xml"); err == nil {
+		t.Fatal("bad format accepted")
+	}
+}
+
+func BenchmarkSpanStartEnd(b *testing.B) {
+	tr := New(Config{MaxSpans: 1 << 20})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s := tr.Start("bench", "op", 0)
+		s.Attr("class", "mem")
+		s.End()
+	}
+}

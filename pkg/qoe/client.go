@@ -12,6 +12,8 @@ import (
 	"strconv"
 	"strings"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Client drives a qoed study-serving daemon over its v1 HTTP API. The zero
@@ -121,6 +123,12 @@ func (c *Client) get(ctx context.Context, path string) (*http.Response, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.baseURL+path, nil)
 	if err != nil {
 		return nil, err
+	}
+	// A context carrying a trace identity propagates it on the wire, so a
+	// coordinator's sub-jobs record their worker-side spans under the
+	// coordinator's trace — one distributed study, one trace.
+	if tc := telemetry.FromContext(ctx); tc.TraceID != "" {
+		req.Header.Set(telemetry.TraceparentHeader, telemetry.FormatTraceparent(tc.TraceID, tc.Parent))
 	}
 	resp, err := c.httpc.Do(req)
 	if err != nil {
@@ -400,6 +408,13 @@ type DaemonMetrics struct {
 	StoreQuarantined int64 `json:"store_quarantined"`
 
 	BytesStreamed int64 `json:"bytes_streamed"`
+
+	// Observability of the daemon itself: how long it has been up, what
+	// build it runs, and its per-class serving-latency quantiles keyed by
+	// resolution class (cold, mem, disk, peer, dedup).
+	UptimeSeconds float64                 `json:"uptime_seconds"`
+	BuildInfo     *BuildInfo              `json:"build_info,omitempty"`
+	Latency       map[string]LatencyStats `json:"latency,omitempty"`
 }
 
 // Metrics fetches and decodes the daemon's /metrics counter map.

@@ -36,8 +36,12 @@
 package qoed
 
 import (
+	"io"
+	"log/slog"
+
 	"repro/internal/fabric"
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // Config sizes a Server: worker pool, admission queue, result-cache byte
@@ -120,3 +124,25 @@ type FabricWorkerStatus = fabric.WorkerStatus
 
 // NewFabric builds a coordinator over a worker pool.
 func NewFabric(cfg FabricConfig) (*Fabric, error) { return fabric.New(cfg) }
+
+// Tracer records run-lifecycle spans into a bounded in-memory ring of
+// traces, inspectable at GET /debug/trace/{id}. Trace IDs are deterministic
+// (a run's trace is keyed by its canonical run ID), and a distributed study
+// stitches its workers' spans into the coordinator's single trace. Wire one
+// into Config.Tracer; a nil tracer disables tracing at the cost of one
+// branch per site.
+type Tracer = telemetry.Tracer
+
+// TracerConfig sizes a Tracer: ring bounds and the optional NDJSON span-log
+// writer (the -trace-log file).
+type TracerConfig = telemetry.Config
+
+// NewTracer builds a Tracer.
+func NewTracer(cfg TracerConfig) *Tracer { return telemetry.New(cfg) }
+
+// NewLogger builds the daemon's structured logger writing to w. level is
+// one of debug, info, warn, error (default info); format is text or json
+// (default text). Wire it into Config.Logger and FabricConfig.Logger.
+func NewLogger(w io.Writer, level, format string) (*slog.Logger, error) {
+	return telemetry.NewLogger(w, level, format)
+}

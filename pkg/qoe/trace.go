@@ -1,0 +1,48 @@
+package qoe
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/url"
+
+	"repro/internal/telemetry"
+)
+
+// The SDK's view of the fleet's run-lifecycle tracing. Trace IDs are
+// deterministic — a run's trace is keyed by its canonical 32-hex run ID, so
+// a client that knows the tuple can compute the trace address without ever
+// having seen the run — and a distributed study stitches into ONE trace: the
+// coordinator merges each worker's span dump under the propagated trace ID.
+
+// TraceDump is one stitched trace as served by /debug/trace/{id}: every
+// retained span of the run's lifecycle, sorted by start time.
+type TraceDump = telemetry.TraceDump
+
+// TraceSpan is one span of a trace dump. Origin names the worker a span was
+// stitched from ("" for spans recorded by the serving daemon itself).
+type TraceSpan = telemetry.SpanRecord
+
+// LatencyStats is one serving-latency class's histogram summary as exposed
+// under the "latency" key of /metrics.
+type LatencyStats = telemetry.LatencyStats
+
+// BuildInfo identifies a daemon build (module version, VCS revision) as
+// exposed under the "build_info" key of /metrics and in /healthz.
+type BuildInfo = telemetry.Build
+
+// Trace fetches the stitched trace of a run by its ID (which IS its trace
+// ID) from the daemon's in-memory ring. A daemon with tracing disabled, or
+// whose ring has evicted the trace, answers 404.
+func (c *Client) Trace(ctx context.Context, id string) (TraceDump, error) {
+	resp, err := c.get(ctx, "/debug/trace/"+url.PathEscape(id))
+	if err != nil {
+		return TraceDump{}, err
+	}
+	defer resp.Body.Close()
+	var dump TraceDump
+	if err := json.NewDecoder(resp.Body).Decode(&dump); err != nil {
+		return TraceDump{}, fmt.Errorf("qoe: decoding trace %s: %w", id, err)
+	}
+	return dump, nil
+}
